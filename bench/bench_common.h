@@ -1,0 +1,94 @@
+// Shared bench plumbing: workload scales, paper reference values, and the
+// normalized-metrics sweep used by several figures.
+//
+// Every bench accepts:
+//   --scale=<f>      scale for W1-W3/W5 (default keeps runs < ~1 min)
+//   --scale-curie=<f> scale for the 198K-job W4 (default 0.02)
+//   --full           paper scale for everything (minutes of CPU time)
+//   --seed=<n>       workload seed
+// Values also come from SDSCHED_* environment variables (see util/cli.h).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace sdsched::bench {
+
+struct BenchContext {
+  double scale_small = 0.1;   ///< W1, W2, W3
+  double scale_curie = 0.02;  ///< W4 (198509 jobs at 1.0)
+  double scale_w5 = 1.0;      ///< W5 is small enough to run at paper scale
+  std::uint64_t seed = 0;     ///< 0 = per-workload default seeds
+
+  static BenchContext from_args(int argc, const char* const* argv) {
+    const CliArgs args(argc, argv);
+    BenchContext ctx;
+    if (args.get_bool("full")) {
+      ctx.scale_small = 1.0;
+      ctx.scale_curie = 1.0;
+      ctx.scale_w5 = 1.0;
+    } else {
+      ctx.scale_small = args.get_double("scale", ctx.scale_small);
+      ctx.scale_curie = args.get_double("scale-curie", ctx.scale_curie);
+      ctx.scale_w5 = args.get_double("scale-w5", ctx.scale_w5);
+    }
+    ctx.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+    return ctx;
+  }
+
+  [[nodiscard]] double scale_for(int which) const {
+    if (which == 4) return scale_curie;
+    if (which == 5) return scale_w5;
+    return scale_small;
+  }
+};
+
+inline PaperWorkload load_workload(int which, const BenchContext& ctx) {
+  PaperWorkload pw = paper_workload(which, ctx.scale_for(which), ctx.seed);
+  std::printf("  %s: %zu jobs on %d nodes x %d cores (scale %.3g)\n", pw.label.c_str(),
+              pw.workload.size(), pw.machine.nodes,
+              pw.machine.node.sockets * pw.machine.node.cores_per_socket,
+              ctx.scale_for(which));
+  return pw;
+}
+
+/// One row of the Fig. 1-3 sweep: normalized metrics per cut-off variant.
+struct SweepRow {
+  std::string workload;
+  std::string variant;
+  NormalizedMetrics normalized;
+};
+
+/// Run the MAXSD sweep (Figs. 1-3) over the given workloads: for each, one
+/// static-backfill baseline plus every cut-off variant, all normalized to
+/// the baseline.
+inline std::vector<SweepRow> run_maxsd_sweep(const std::vector<int>& workloads,
+                                             const BenchContext& ctx,
+                                             RuntimeModelKind exec = RuntimeModelKind::Ideal) {
+  std::vector<SweepRow> rows;
+  for (const int which : workloads) {
+    const PaperWorkload pw = load_workload(which, ctx);
+    const SimulationReport base = run_single(pw, baseline_config(pw.machine));
+    for (const auto& variant : maxsd_sweep()) {
+      SimulationConfig cfg = sd_config(pw.machine, variant.cutoff, exec);
+      const SimulationReport report = run_single(pw, cfg);
+      rows.push_back(SweepRow{pw.label, variant.label,
+                              normalize(report.summary, base.summary)});
+    }
+  }
+  return rows;
+}
+
+inline void print_banner(const char* id, const char* title, const char* paper_note) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("paper: %s\n", paper_note);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace sdsched::bench

@@ -1,0 +1,10 @@
+// Figure 2: average response time for workloads 1-4 vs MAX_SLOWDOWN,
+// normalized to the static backfill simulation.
+#include "fig_maxsd_common.h"
+
+int main(int argc, char** argv) {
+  return sdsched::bench::run_maxsd_figure(
+      argc, argv, "Figure 2", "Average response time",
+      "response time reduced for all workloads; best case -50% (W4, MAXSD 10)",
+      [](const sdsched::NormalizedMetrics& n) { return n.avg_response; });
+}

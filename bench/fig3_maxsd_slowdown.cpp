@@ -1,0 +1,11 @@
+// Figure 3: average slowdown for workloads 1-4 vs MAX_SLOWDOWN, normalized
+// to the static backfill simulation.
+#include "fig_maxsd_common.h"
+
+int main(int argc, char** argv) {
+  return sdsched::bench::run_maxsd_figure(
+      argc, argv, "Figure 3", "Average slowdown",
+      "slowdown reductions up to 49.5% (W1), 31% (W2), 25.7% (W3), 70.4% "
+      "(W4); higher MAXSD generally helps, DynAVGSD best on W2",
+      [](const sdsched::NormalizedMetrics& n) { return n.avg_slowdown; });
+}

@@ -1,0 +1,11 @@
+// Figure 4: heatmap of the slowdown ratio between static backfill and
+// SD-Policy MAXSD 10 on the Curie-like workload, per job category.
+#include "fig_heatmap_common.h"
+
+int main(int argc, char** argv) {
+  return sdsched::bench::run_heatmap_figure(
+      argc, argv, "Figure 4", "Slowdown ratio static/SD per category",
+      "small-short jobs improve most (up to 5.69x for jobs <=4h, <=512 "
+      "nodes); a single large-long category regresses ~15%",
+      [](const sdsched::JobRecord& r) { return r.slowdown(); });
+}

@@ -1,0 +1,39 @@
+// Shared driver for Figures 4-6: the W4 category heatmaps. Runs static
+// backfill and SD-Policy MAXSD 10 on the Curie-like workload, buckets jobs
+// by (requested nodes x runtime) and prints the static/SD ratio per cell
+// (>1 = SD-Policy improved that category).
+#pragma once
+
+#include <functional>
+
+#include "bench_common.h"
+#include "metrics/heatmap.h"
+
+namespace sdsched::bench {
+
+inline int run_heatmap_figure(int argc, char** argv, const char* fig_id, const char* metric_name,
+                              const char* paper_note,
+                              const std::function<double(const JobRecord&)>& metric) {
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
+  print_banner(fig_id, metric_name, paper_note);
+
+  const PaperWorkload pw = load_workload(4, ctx);
+  const SimulationReport base = run_single(pw, baseline_config(pw.machine));
+  const SimulationReport sd =
+      run_single(pw, sd_config(pw.machine, CutoffConfig::max_sd(10.0)));
+
+  CategoryHeatmap base_map;
+  CategoryHeatmap sd_map;
+  base_map.fill(base.records, metric);
+  sd_map.fill(sd.records, metric);
+
+  std::printf("\nratio static-backfill / SD-Policy MAXSD 10 per category "
+              "(>1: SD wins; '-': no jobs):\n\n");
+  std::fputs(sd_map.render_grid(base_map.ratio(sd_map)).c_str(), stdout);
+
+  std::printf("\njobs per category:\n\n");
+  std::fputs(base_map.render_counts().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace sdsched::bench

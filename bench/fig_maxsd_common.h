@@ -1,0 +1,42 @@
+// Shared driver for Figures 1-3: the MAX_SLOWDOWN sweep over workloads 1-4
+// (SharingFactor 0.5, ideal runtime model), each metric normalized to the
+// static-backfill baseline. One figure binary per metric, as in the paper.
+#pragma once
+
+#include <functional>
+
+#include "bench_common.h"
+
+namespace sdsched::bench {
+
+inline int run_maxsd_figure(int argc, char** argv, const char* fig_id, const char* metric_name,
+                            const char* paper_note,
+                            const std::function<double(const NormalizedMetrics&)>& metric) {
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
+  print_banner(fig_id, metric_name, paper_note);
+
+  const auto rows = run_maxsd_sweep({1, 2, 3, 4}, ctx);
+
+  std::vector<std::string> header{"workload"};
+  for (const auto& variant : maxsd_sweep()) header.push_back(variant.label);
+  AsciiTable table(header);
+
+  const char* labels[] = {"W1", "W2", "W3", "W4"};
+  for (const char* wl : labels) {
+    std::vector<std::string> row{wl};
+    for (const auto& variant : maxsd_sweep()) {
+      for (const auto& r : rows) {
+        if (r.workload == wl && r.variant == variant.label) {
+          row.push_back(AsciiTable::num(metric(r.normalized), 3));
+        }
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("\n%s, normalized to static backfill (<1 means SD-Policy wins):\n\n",
+              metric_name);
+  table.print();
+  return 0;
+}
+
+}  // namespace sdsched::bench

@@ -1,0 +1,57 @@
+// Table 1: description of workloads — trace-side columns plus the
+// static-backfill simulation columns (avg response, avg slowdown, makespan).
+//
+// Paper values are for scale 1.0; scaled-down runs reproduce the *relative*
+// shape (which workloads are congested, where slowdown explodes), not the
+// absolute seconds.
+#include "bench_common.h"
+#include "workload/workload_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace sdsched;
+  using namespace sdsched::bench;
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
+
+  print_banner("Table 1", "Description of workloads",
+               "W1 Cirne 5000j/1024n resp=122152 sld=3339.5 mk=899888 | "
+               "W2 Cirne_ideal resp=126486 sld=3501 mk=896024 | "
+               "W3 RICC 10000j/1024n resp=43537 sld=1341 mk=407043 | "
+               "W4 CEA-Curie 198509j/5040n resp=29858.5 sld=3666.5 mk=21615111 | "
+               "W5 Cirne_real_run 2000j/49n resp=56482 sld=4783.1 mk=159313");
+
+  struct PaperRow {
+    const char* log;
+    double resp, sld;
+    long long mk;
+  };
+  const PaperRow paper[5] = {
+      {"Cirne", 122152, 3339.5, 899888},
+      {"Cirne_ideal", 126486, 3501, 896024},
+      {"RICC-sept", 43537, 1341, 407043},
+      {"CEA-Curie", 29858.5, 3666.5, 21615111},
+      {"Cirne_real_run", 56482, 4783.1, 159313},
+  };
+
+  AsciiTable table({"ID", "log/model", "#jobs", "system (n/c)", "max job (n/c)",
+                    "avg resp (s)", "avg sld", "makespan (s)", "paper resp/sld/mk"});
+  for (int which = 1; which <= 5; ++which) {
+    const PaperWorkload pw = load_workload(which, ctx);
+    const WorkloadStats stats = characterize(pw.workload);
+    SimulationConfig cfg = baseline_config(pw.machine);
+    cfg.use_app_model = (which == 5);
+    const SimulationReport report = run_single(pw, cfg);
+    const PaperRow& p = paper[which - 1];
+    table.add_row({std::to_string(which), p.log, std::to_string(stats.n_jobs),
+                   std::to_string(stats.system_nodes) + "/" + std::to_string(stats.system_cores),
+                   std::to_string(stats.max_job_nodes) + "/" + std::to_string(stats.max_job_cpus),
+                   AsciiTable::num(report.summary.avg_response, 0),
+                   AsciiTable::num(report.summary.avg_slowdown, 1),
+                   std::to_string(report.summary.makespan),
+                   AsciiTable::num(p.resp, 0) + "/" + AsciiTable::num(p.sld, 1) + "/" +
+                       std::to_string(p.mk)});
+  }
+  table.print();
+  std::printf("\nNote: paper columns are full-scale; run with --full to compare "
+              "absolute magnitudes.\n");
+  return 0;
+}

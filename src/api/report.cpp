@@ -1,0 +1,15 @@
+#include "api/report.h"
+
+#include <sstream>
+
+#include "metrics/summary.h"
+
+namespace sdsched {
+
+std::string SimulationReport::brief() const {
+  std::ostringstream oss;
+  oss << "[" << policy << " @ " << workload << "] " << to_string(summary);
+  return oss.str();
+}
+
+}  // namespace sdsched

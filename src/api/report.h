@@ -1,0 +1,30 @@
+// Simulation results: aggregate summary plus the per-job records that the
+// figure benches turn into heatmaps and daily series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+
+namespace sdsched {
+
+struct SimulationReport {
+  std::string policy;            ///< scheduler name ("backfill", "sd-policy", ...)
+  std::string workload;          ///< workload name
+  MetricsSummary summary;
+  std::vector<JobRecord> records;
+
+  // Kernel/scheduler counters.
+  std::uint64_t events_fired = 0;
+  std::uint64_t scheduling_passes = 0;
+  std::uint64_t malleable_starts = 0;
+  std::uint64_t drom_shrink_ops = 0;
+  std::uint64_t drom_expand_ops = 0;
+  std::uint64_t cancelled_jobs = 0;
+
+  [[nodiscard]] std::string brief() const;
+};
+
+}  // namespace sdsched

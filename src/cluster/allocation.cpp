@@ -1,0 +1,28 @@
+#include "cluster/allocation.h"
+
+#include <algorithm>
+
+namespace sdsched {
+
+int Allocation::total_cpus() const noexcept {
+  int total = 0;
+  for (const auto& share : shares) total += share.cpus;
+  return total;
+}
+
+int Allocation::min_cpus_per_node() const noexcept {
+  int lowest = 0;
+  for (const auto& share : shares) {
+    lowest = (lowest == 0) ? share.cpus : std::min(lowest, share.cpus);
+  }
+  return lowest;
+}
+
+std::vector<int> Allocation::node_ids() const {
+  std::vector<int> ids;
+  ids.reserve(shares.size());
+  for (const auto& share : shares) ids.push_back(share.node);
+  return ids;
+}
+
+}  // namespace sdsched

@@ -1,0 +1,23 @@
+// Allocation value type: a job's per-node cpu shares, with the aggregate
+// quantities the runtime models need (Eq. 5 uses total cpus, Eq. 6 the
+// minimum per-node share).
+#pragma once
+
+#include <vector>
+
+#include "job/job.h"
+
+namespace sdsched {
+
+struct Allocation {
+  std::vector<NodeShare> shares;
+
+  [[nodiscard]] int total_cpus() const noexcept;
+  [[nodiscard]] int min_cpus_per_node() const noexcept;
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return shares.size(); }
+  [[nodiscard]] bool empty() const noexcept { return shares.empty(); }
+
+  [[nodiscard]] std::vector<int> node_ids() const;
+};
+
+}  // namespace sdsched

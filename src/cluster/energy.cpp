@@ -1,0 +1,18 @@
+#include "cluster/energy.h"
+
+namespace sdsched {
+
+void EnergyAccountant::observe(SimTime now, int busy_cores, int occupied_nodes) noexcept {
+  if (now > last_time_) {
+    const double dt = static_cast<double>(now - last_time_);
+    const int powered = config_.power_down_idle_nodes ? occupied_nodes_ : total_nodes_;
+    const double watts = static_cast<double>(powered) * config_.idle_watts_per_node +
+                         static_cast<double>(busy_cores_) * config_.watts_per_busy_core;
+    joules_ += watts * dt;
+    last_time_ = now;
+  }
+  busy_cores_ = busy_cores;
+  occupied_nodes_ = occupied_nodes;
+}
+
+}  // namespace sdsched

@@ -1,0 +1,43 @@
+// Integrated power model (substitution for MareNostrum4's system-software
+// energy readings; see DESIGN.md §3.3).
+//
+//   P(t) = powered_nodes(t) * idle_watts + busy_cores(t) * core_watts
+//
+// Shorter makespans and denser packing both reduce the integral, which is
+// exactly the mechanism §4.4 credits for the 6% real-run saving.
+#pragma once
+
+#include "util/time_utils.h"
+
+namespace sdsched {
+
+struct EnergyConfig {
+  double idle_watts_per_node = 100.0;  ///< baseline draw of a powered node
+  double watts_per_busy_core = 4.5;    ///< incremental draw per allocated core
+  bool power_down_idle_nodes = false;  ///< if true, empty nodes draw nothing
+};
+
+class EnergyAccountant {
+ public:
+  EnergyAccountant() = default;
+  EnergyAccountant(EnergyConfig config, int total_nodes) noexcept
+      : config_(config), total_nodes_(total_nodes) {}
+
+  /// Advance the integral to `now` with the *current* load, then record the
+  /// new load. Call before every load change and once at simulation end.
+  void observe(SimTime now, int busy_cores, int occupied_nodes) noexcept;
+
+  [[nodiscard]] double joules() const noexcept { return joules_; }
+  [[nodiscard]] double kwh() const noexcept { return joules_ / 3.6e6; }
+  [[nodiscard]] const EnergyConfig& config() const noexcept { return config_; }
+
+ private:
+  EnergyConfig config_;
+  int total_nodes_ = 0;
+  SimTime last_time_ = 0;
+  int busy_cores_ = 0;
+  int occupied_nodes_ = 0;
+  double joules_ = 0.0;
+};
+
+}  // namespace sdsched

@@ -1,0 +1,150 @@
+#include "cluster/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdsched {
+
+bool node_satisfies(const NodeAttributes& attributes,
+                    const JobConstraints& constraints) noexcept {
+  if (!constraints.required_arch.empty() && attributes.arch != constraints.required_arch) {
+    return false;
+  }
+  if (attributes.memory_gb < constraints.min_memory_gb) return false;
+  if (!constraints.required_network.empty() &&
+      attributes.network != constraints.required_network) {
+    return false;
+  }
+  return true;
+}
+
+Machine::Machine(MachineConfig config)
+    : config_(std::move(config)), energy_(config_.energy, config_.nodes) {
+  assert(config_.nodes > 0);
+  nodes_.reserve(config_.nodes);
+  for (int i = 0; i < config_.nodes; ++i) {
+    NodeAttributes attributes = config_.attributes;
+    for (const auto& [id, override_attrs] : config_.attribute_overrides) {
+      if (id == i) attributes = override_attrs;
+    }
+    nodes_.emplace_back(i, config_.node, std::move(attributes));
+    free_nodes_.insert(i);
+  }
+}
+
+std::optional<std::vector<int>> Machine::find_free_nodes(
+    int count, const JobConstraints* constraints) const {
+  if (count > free_node_count()) return std::nullopt;
+  if (constraints == nullptr || constraints->unconstrained()) {
+    std::vector<int> picked;
+    picked.reserve(count);
+    for (const int id : free_nodes_) {
+      picked.push_back(id);
+      if (static_cast<int>(picked.size()) == count) break;
+    }
+    return picked;
+  }
+
+  std::vector<int> eligible;
+  for (const int id : free_nodes_) {
+    if (node_satisfies(nodes_[id].attributes(), *constraints)) eligible.push_back(id);
+  }
+  if (static_cast<int>(eligible.size()) < count) return std::nullopt;
+  if (!constraints->contiguous) {
+    eligible.resize(count);
+    return eligible;
+  }
+  // Contiguous: the earliest run of `count` consecutive ids.
+  int run_start = 0;
+  for (std::size_t i = 1; i <= eligible.size(); ++i) {
+    if (i == eligible.size() || eligible[i] != eligible[i - 1] + 1) {
+      if (static_cast<int>(i) - run_start >= count) {
+        return std::vector<int>(eligible.begin() + run_start,
+                                eligible.begin() + run_start + count);
+      }
+      run_start = static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+int Machine::eligible_node_count(const JobConstraints& constraints) const {
+  if (constraints.unconstrained()) return node_count();
+  int eligible = 0;
+  for (const auto& node : nodes_) {
+    if (node_satisfies(node.attributes(), constraints)) ++eligible;
+  }
+  return eligible;
+}
+
+void Machine::touch(SimTime now) {
+  assert(now >= last_touch_);
+  core_seconds_ += static_cast<double>(busy_cores_) * static_cast<double>(now - last_touch_);
+  energy_.observe(now, busy_cores_, occupied_nodes());
+  last_touch_ = now;
+}
+
+void Machine::sync_free_state(int node_id) {
+  if (nodes_[node_id].empty()) {
+    free_nodes_.insert(node_id);
+  } else {
+    free_nodes_.erase(node_id);
+  }
+}
+
+bool Machine::allocate_exclusive(SimTime now, JobId job, const std::vector<int>& node_ids,
+                                 const std::vector<int>& cpus) {
+  assert(node_ids.size() == cpus.size());
+  for (const int id : node_ids) {
+    if (!nodes_.at(id).empty()) return false;
+  }
+  touch(now);
+  for (std::size_t i = 0; i < node_ids.size(); ++i) {
+    const int id = node_ids[i];
+    const int held = std::clamp(cpus[i], 1, nodes_[id].total_cores());
+    const bool ok = nodes_[id].add(job, held, /*is_owner=*/true);
+    assert(ok);
+    (void)ok;
+    busy_cores_ += held;
+    sync_free_state(id);
+  }
+  return true;
+}
+
+bool Machine::add_share(SimTime now, JobId job, int node_id, int cpus, bool is_owner) {
+  touch(now);
+  if (!nodes_.at(node_id).add(job, cpus, is_owner)) return false;
+  busy_cores_ += cpus;
+  sync_free_state(node_id);
+  return true;
+}
+
+bool Machine::resize_share(SimTime now, JobId job, int node_id, int cpus) {
+  auto& node = nodes_.at(node_id);
+  const auto occ = node.occupant(job);
+  if (!occ) return false;
+  touch(now);
+  if (!node.resize(job, cpus)) return false;
+  busy_cores_ += cpus - occ->cpus;
+  return true;
+}
+
+int Machine::remove_share(SimTime now, JobId job, int node_id) {
+  touch(now);
+  const int freed = nodes_.at(node_id).remove(job);
+  busy_cores_ -= freed;
+  sync_free_state(node_id);
+  return freed;
+}
+
+void Machine::release_all(SimTime now, JobId job, const std::vector<int>& node_ids) {
+  touch(now);
+  for (const int id : node_ids) {
+    busy_cores_ -= nodes_.at(id).remove(job);
+    sync_free_state(id);
+  }
+}
+
+void Machine::finalize_energy(SimTime now) { touch(now); }
+
+}  // namespace sdsched

@@ -1,0 +1,105 @@
+// The cluster: a homogeneous set of nodes (SLURM select/linear semantics:
+// whole-node allocation, lowest-id-first for determinism) plus load
+// accounting feeding the energy model.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cluster/energy.h"
+#include "cluster/node.h"
+#include "job/job.h"
+#include "util/time_utils.h"
+
+namespace sdsched {
+
+struct MachineConfig {
+  int nodes = 16;
+  NodeConfig node;
+  NodeAttributes attributes;  ///< default attributes for every node
+  /// Per-node attribute overrides (node id -> attributes), for modelling
+  /// heterogeneous partitions (high-mem nodes, different interconnects...).
+  std::vector<std::pair<int, NodeAttributes>> attribute_overrides;
+  EnergyConfig energy;
+};
+
+/// Does a node with `attributes` satisfy `constraints`? (§3.2.4 filtering.)
+[[nodiscard]] bool node_satisfies(const NodeAttributes& attributes,
+                                  const JobConstraints& constraints) noexcept;
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+
+  [[nodiscard]] int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int cores_per_node() const noexcept { return nodes_.front().total_cores(); }
+  [[nodiscard]] int total_cores() const noexcept { return node_count() * cores_per_node(); }
+  [[nodiscard]] int free_node_count() const noexcept {
+    return static_cast<int>(free_nodes_.size());
+  }
+  [[nodiscard]] int busy_cores() const noexcept { return busy_cores_; }
+  [[nodiscard]] int occupied_nodes() const noexcept {
+    return node_count() - free_node_count();
+  }
+  [[nodiscard]] double utilization() const noexcept {
+    return static_cast<double>(busy_cores_) / static_cast<double>(total_cores());
+  }
+
+  [[nodiscard]] const Node& node(int id) const { return nodes_.at(id); }
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+
+  /// Pick `count` free nodes (lowest ids). Empty optional if insufficient.
+  /// With `constraints`, only nodes satisfying them are eligible, and
+  /// `constraints->contiguous` requires consecutive node ids.
+  [[nodiscard]] std::optional<std::vector<int>> find_free_nodes(
+      int count, const JobConstraints* constraints = nullptr) const;
+
+  /// Nodes (free or busy) satisfying `constraints` — the capacity the
+  /// reservation profile should assume for a constrained job.
+  [[nodiscard]] int eligible_node_count(const JobConstraints& constraints) const;
+
+  /// Exclusive whole-node allocation: `job` occupies each listed node,
+  /// holding cpus[i] cores there (its balanced static split; remaining cores
+  /// idle, as SLURM task/affinity binds only requested cpus). Returns false
+  /// (no change) if any node is non-empty. Static placement only ever
+  /// targets empty nodes; co-scheduling goes through add_share explicitly.
+  bool allocate_exclusive(SimTime now, JobId job, const std::vector<int>& node_ids,
+                          const std::vector<int>& cpus);
+
+  /// Place `job` on `node_id` holding `cpus` cores alongside existing
+  /// occupants (co-scheduling). The node must have the headroom.
+  bool add_share(SimTime now, JobId job, int node_id, int cpus, bool is_owner);
+
+  /// Change `job`'s holding on `node_id`.
+  bool resize_share(SimTime now, JobId job, int node_id, int cpus);
+
+  /// Remove `job` from `node_id`; returns cpus freed (0 if absent).
+  int remove_share(SimTime now, JobId job, int node_id);
+
+  /// Remove `job` from every node it holds.
+  void release_all(SimTime now, JobId job, const std::vector<int>& node_ids);
+
+  /// Flush the energy integral up to `now` (call at simulation end).
+  void finalize_energy(SimTime now);
+
+  [[nodiscard]] const EnergyAccountant& energy() const noexcept { return energy_; }
+
+  /// Total core-seconds allocated so far (for utilization reporting).
+  [[nodiscard]] double core_seconds() const noexcept { return core_seconds_; }
+
+ private:
+  void touch(SimTime now);
+  void sync_free_state(int node_id);
+
+  MachineConfig config_;
+  std::vector<Node> nodes_;
+  std::set<int> free_nodes_;  ///< ordered -> deterministic lowest-first picks
+  int busy_cores_ = 0;
+  EnergyAccountant energy_;
+  double core_seconds_ = 0.0;
+  SimTime last_touch_ = 0;
+};
+
+}  // namespace sdsched

@@ -1,0 +1,36 @@
+#include "core/cutoff.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sdsched {
+
+double estimated_running_slowdown(const Job& job, SimTime now) noexcept {
+  const auto req = static_cast<double>(std::max<SimTime>(job.spec.req_time, 1));
+  const auto wait = static_cast<double>(job.wait_time(now));
+  const auto increase = static_cast<double>(job.predicted_increase);
+  return (wait + increase + req) / req;
+}
+
+double compute_cutoff(const CutoffConfig& config, const JobRegistry& jobs, SimTime now) {
+  switch (config.kind) {
+    case CutoffKind::Static:
+      return config.value;
+    case CutoffKind::Infinite:
+      return std::numeric_limits<double>::infinity();
+    case CutoffKind::DynamicAverage: {
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (const auto& job : jobs) {
+        if (!job.running()) continue;
+        sum += estimated_running_slowdown(job, now);
+        ++count;
+      }
+      if (count == 0) return std::numeric_limits<double>::infinity();
+      return sum / static_cast<double>(count);
+    }
+  }
+  return config.value;
+}
+
+}  // namespace sdsched

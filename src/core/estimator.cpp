@@ -1,0 +1,3 @@
+#include "core/estimator.h"
+
+// Header-only helpers; translation unit kept so the module has an anchor.

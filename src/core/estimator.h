@@ -1,0 +1,31 @@
+// End-time estimation for the Listing 1 decision: static_end vs mall_end.
+//
+// static_end comes from the backfill reservation profile (the caller already
+// has it). mall_end needs a *pre-selection* estimate of the malleable
+// runtime increase — before mates are known — which the paper derives from
+// the worst-case model under the uniform SharingFactor split: the guest
+// would run at rate ~ sharing_factor, so
+//   mall_end = now + planned_runtime + increase(planned_runtime, sf).
+//
+// `planned_runtime` is the scheduler's working estimate of the job's
+// duration: the user request, or the RuntimePredictor's refinement when
+// prediction is enabled (future work #2).
+#pragma once
+
+#include "model/runtime_model.h"
+
+namespace sdsched {
+
+/// Pre-selection malleable end estimate (Listing 1's `mall_end`).
+[[nodiscard]] inline SimTime quick_mall_end(SimTime now, SimTime planned_runtime,
+                                            double sharing_factor) noexcept {
+  return now + planned_runtime + increase_for_rate(planned_runtime, sharing_factor);
+}
+
+/// Static end estimate from a backfill start estimate.
+[[nodiscard]] inline SimTime static_end_for(SimTime est_start,
+                                            SimTime planned_runtime) noexcept {
+  return est_start + planned_runtime;
+}
+
+}  // namespace sdsched

@@ -1,0 +1,263 @@
+#include "core/mate_selector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/adaptive_sharing.h"
+#include "core/cutoff.h"
+#include "model/runtime_model.h"
+#include "workload/app_profiles.h"
+
+namespace sdsched {
+
+namespace {
+
+/// Table-2 profile of a job, or null when it carries none.
+const ApplicationProfile* profile_of(const Job& job) noexcept {
+  const int idx = job.spec.app_profile;
+  const auto& profiles = table2_profiles();
+  if (idx < 0 || idx >= static_cast<int>(profiles.size())) return nullptr;
+  return &profiles[static_cast<std::size_t>(idx)];
+}
+
+/// Quick (pre-plan) duration estimate: the guest would run at roughly the
+/// SharingFactor rate (Listing 1's runtime_increase input).
+SimTime quick_duration(SimTime planned_runtime, double sharing_factor) noexcept {
+  return planned_runtime + increase_for_rate(planned_runtime, sharing_factor);
+}
+
+double penalty_for(const Job& mate, SimTime now, SimTime increase) noexcept {
+  const auto req = static_cast<double>(std::max<SimTime>(mate.spec.req_time, 1));
+  return (static_cast<double>(mate.wait_time(now)) + static_cast<double>(increase) + req) /
+         req;
+}
+
+}  // namespace
+
+bool MateSelector::eligible_mate(const Job& candidate, const Job& guest,
+                                 SimTime now) const noexcept {
+  if (!candidate.running() || !candidate.can_be_mate()) return false;
+  if (candidate.spec.id == guest.spec.id) return false;
+  if (candidate.started_as_guest) return false;
+  if (static_cast<int>(candidate.guests.size()) >= config_.max_jobs_per_node - 1) {
+    return false;
+  }
+  if (candidate.spec.req_nodes > guest.spec.req_nodes) return false;  // w_i <= W
+  if (candidate.predicted_end <= now) return false;  // no remaining allocation
+  return true;
+}
+
+std::vector<MateSelector::Candidate> MateSelector::collect_candidates(
+    const Job& guest, SimTime now, double max_slowdown, SimTime guest_runtime) const {
+  const SimTime d0 = quick_duration(guest_runtime, config_.sharing_factor);
+  const auto u_max = static_cast<int>(
+      (guest.spec.req_cpus + guest.spec.req_nodes - 1) / guest.spec.req_nodes);
+
+  std::vector<Candidate> candidates;
+  for (const auto& job : jobs_) {
+    if (!eligible_mate(job, guest, now)) continue;
+
+    // Future work #1: SharingFactor tuned per (mate, guest) pairing when
+    // application profiles are known; the fixed socket split otherwise.
+    const double sharing_factor =
+        config_.adaptive_sharing
+            ? adaptive_sharing_factor(config_.sharing_factor, profile_of(job),
+                                      profile_of(guest))
+            : config_.sharing_factor;
+
+    Candidate cand;
+    cand.id = job.spec.id;
+    cand.weight = static_cast<int>(job.shares.size());
+    cand.nodes.reserve(job.shares.size());
+    bool feasible = true;
+    double worst_kept_ratio = 1.0;
+    for (const auto& share : job.shares) {
+      const Node& node = machine_.node(share.node);
+      // §3.2.4: the guest's constraints filter the mates' nodes too.
+      if (!node_satisfies(node.attributes(), guest.spec.constraints)) {
+        feasible = false;
+        break;
+      }
+      NodeBudget budget;
+      budget.node = share.node;
+      budget.mate_current = share.cpus;
+      budget.mate_static = std::max(1, share.static_cpus);
+      budget.mate_min = std::max(1, job.spec.ranks_per_node);
+      budget.idle = node.free_cores();
+      const int take_cap =
+          static_cast<int>(std::floor(sharing_factor * node.total_cores()));
+      const int already_taken = budget.mate_static - budget.mate_current;
+      const int max_take = std::clamp(
+          std::min(take_cap - already_taken, budget.mate_current - budget.mate_min), 0,
+          budget.mate_current);
+      budget.guest_max = budget.idle + max_take;
+      if (budget.guest_max < 1) {
+        feasible = false;
+        break;
+      }
+      // Quick penalty ingredient: what the mate would keep if the guest
+      // needed u_max cpus here.
+      const int g = std::min(u_max, budget.guest_max);
+      const int kept = budget.mate_current - std::max(0, g - budget.idle);
+      worst_kept_ratio = std::min(
+          worst_kept_ratio, static_cast<double>(kept) / budget.mate_static);
+      cand.nodes.push_back(budget);
+    }
+    if (!feasible) continue;
+
+    const SimTime quick_increase = lost_progress_increase(d0, worst_kept_ratio);
+    cand.sort_penalty = penalty_for(job, now, quick_increase);
+    if (cand.sort_penalty >= max_slowdown) continue;  // Eq. 2 filter
+    candidates.push_back(std::move(cand));
+  }
+
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.sort_penalty != b.sort_penalty) return a.sort_penalty < b.sort_penalty;
+    return a.id < b.id;
+  });
+  if (config_.max_candidates > 0 &&
+      static_cast<int>(candidates.size()) > config_.max_candidates) {
+    candidates.resize(config_.max_candidates);
+  }
+  return candidates;
+}
+
+std::optional<MatePlan> MateSelector::evaluate_combination(
+    const Job& guest, SimTime now, double max_slowdown,
+    const std::vector<const Candidate*>& combo, int free_nodes,
+    SimTime guest_runtime) const {
+  const int total_nodes = guest.spec.req_nodes;
+  // Guest's balanced static need per node, largest chunks first so free
+  // nodes (which can host the most) absorb them.
+  auto needs = balanced_split(guest.spec.req_cpus, total_nodes);
+  std::sort(needs.begin(), needs.end(), std::greater<int>());
+
+  MatePlan plan;
+  plan.nodes.reserve(total_nodes);
+  std::size_t need_idx = 0;
+  double guest_rate = 1e300;
+
+  if (free_nodes > 0) {
+    const auto free_ids = machine_.find_free_nodes(free_nodes, &guest.spec.constraints);
+    if (!free_ids) return std::nullopt;
+    for (const int node_id : *free_ids) {
+      const int u = needs[need_idx++];
+      const int cap = machine_.node(node_id).total_cores();
+      const int g = std::min(u, cap);
+      if (g < 1) return std::nullopt;
+      plan.nodes.push_back(SharePlan{node_id, kInvalidJob, g, 0, u});
+      guest_rate = std::min(guest_rate, static_cast<double>(g) / u);
+    }
+  }
+
+  struct MateKept {
+    const Candidate* cand;
+    double rate;  ///< min over nodes kept/static
+  };
+  std::vector<MateKept> kept_rates;
+  kept_rates.reserve(combo.size());
+  for (const Candidate* cand : combo) {
+    double mate_rate = 1.0;
+    for (const auto& budget : cand->nodes) {
+      const int u = needs[need_idx++];
+      const int g = std::min(u, budget.guest_max);
+      if (g < 1) return std::nullopt;
+      const int taken = std::max(0, g - budget.idle);
+      const int kept = budget.mate_current - taken;
+      assert(kept >= budget.mate_min);
+      plan.nodes.push_back(SharePlan{budget.node, cand->id, g, kept, u});
+      guest_rate = std::min(guest_rate, static_cast<double>(g) / u);
+      mate_rate = std::min(mate_rate, static_cast<double>(kept) / budget.mate_static);
+    }
+    kept_rates.push_back(MateKept{cand, mate_rate});
+  }
+  assert(need_idx == needs.size());
+
+  if (guest_rate <= 0.0) return std::nullopt;
+
+  // Contiguous allocations (§3.2.4): the combined plan must form one run of
+  // consecutive node ids.
+  if (guest.spec.constraints.contiguous) {
+    std::vector<int> ids;
+    ids.reserve(plan.nodes.size());
+    for (const auto& entry : plan.nodes) ids.push_back(entry.node);
+    std::sort(ids.begin(), ids.end());
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      if (ids[i] != ids[i - 1] + 1) return std::nullopt;
+    }
+  }
+
+  plan.guest_increase = increase_for_rate(guest_runtime, guest_rate);
+  plan.guest_duration = guest_runtime + plan.guest_increase;
+  const SimTime mall_end = now + plan.guest_duration;
+
+  // §3.2.4: the guest must finish inside every mate's allocation.
+  for (const MateKept& mk : kept_rates) {
+    if (mall_end > jobs_.at(mk.cand->id).predicted_end) return std::nullopt;
+  }
+
+  // Exact penalties for this combination (Eq. 4 with the plan's duration).
+  plan.performance_impact = 0.0;
+  for (const MateKept& mk : kept_rates) {
+    const Job& mate = jobs_.at(mk.cand->id);
+    const SimTime increase = lost_progress_increase(plan.guest_duration, mk.rate);
+    const double penalty = penalty_for(mate, now, increase);
+    if (penalty >= max_slowdown) return std::nullopt;  // Eq. 2 on exact values
+    plan.mates.push_back(mk.cand->id);
+    plan.mate_increases.push_back(increase);
+    plan.performance_impact += penalty;
+  }
+  return plan;
+}
+
+std::optional<MatePlan> MateSelector::select(const Job& guest, SimTime now,
+                                             double max_slowdown, int max_free_nodes,
+                                             SimTime guest_runtime) const {
+  const int total_nodes = guest.spec.req_nodes;
+  if (total_nodes <= 0) return std::nullopt;
+  if (guest_runtime <= 0) guest_runtime = guest.spec.req_time;
+  const auto candidates = collect_candidates(guest, now, max_slowdown, guest_runtime);
+  if (candidates.empty()) return std::nullopt;  // plans always involve >=1 mate
+
+  std::optional<MatePlan> best;
+  double best_impact = 1e300;
+
+  // Prefer plans that lean on free nodes (zero penalty); then fill the
+  // remaining weight with mate combinations, best-penalty-first DFS with
+  // branch-and-bound on the (sorted) penalty lower bound.
+  const int max_free =
+      config_.include_free_nodes ? std::min(max_free_nodes, total_nodes - 1) : 0;
+  for (int free_used = max_free; free_used >= 0; --free_used) {
+    const int target = total_nodes - free_used;
+    if (target == 0) continue;  // would be a static start, not SD's business
+
+    std::vector<const Candidate*> combo;
+    const auto dfs = [&](auto&& self, std::size_t start, int remaining_weight,
+                         int remaining_mates, double penalty_bound) -> void {
+      if (remaining_weight == 0) {
+        auto plan =
+            evaluate_combination(guest, now, max_slowdown, combo, free_used, guest_runtime);
+        if (plan && plan->performance_impact < best_impact) {
+          best_impact = plan->performance_impact;
+          best = std::move(plan);
+        }
+        return;
+      }
+      if (remaining_mates == 0) return;
+      for (std::size_t i = start; i < candidates.size(); ++i) {
+        const Candidate& cand = candidates[i];
+        if (cand.weight > remaining_weight) continue;
+        const double bound = penalty_bound + cand.sort_penalty;
+        if (bound >= best_impact) break;  // sorted: all later are >= this
+        combo.push_back(&cand);
+        self(self, i + 1, remaining_weight - cand.weight, remaining_mates - 1, bound);
+        combo.pop_back();
+      }
+    };
+    dfs(dfs, 0, target, config_.max_mates, 0.0);
+  }
+  return best;
+}
+
+}  // namespace sdsched

@@ -1,0 +1,80 @@
+// Malleable resource selection (paper §3.2, Listing 2) — the simulator's
+// analogue of the modified SLURM select/linear plug-in.
+//
+// Given a guest job that cannot start statically, find the set of running
+// "mates" to shrink, minimizing the Performance Impact
+//
+//   PI = min Σ x_i · p_i                         (Eq. 1)
+//   p_i = (wait_i + increase_i + req_i) / req_i  (Eq. 4)
+//
+// subject to p_i < MAX_SLOWDOWN (Eq. 2) and Σ x_i · w_i = W (Eq. 3), where
+// w_i is mate i's node count and W the guest's. Additional constraints from
+// §3.2.4/§3.3: at most `m` mates per plan, at most `max_jobs_per_node`
+// occupants per node, a mate keeps at least one cpu per MPI rank, a guest
+// takes at most SharingFactor of a node's cores from its owner, and the
+// guest's predicted end must fall inside every mate's allocation.
+//
+// Heuristic: candidates are filtered by the cut-off, sorted by penalty, and
+// truncated to `nm`; combinations of up to `m` mates are enumerated
+// depth-first with branch-and-bound pruning on the penalty lower bound.
+#pragma once
+
+#include <optional>
+
+#include "cluster/machine.h"
+#include "core/sd_config.h"
+#include "job/job_registry.h"
+#include "sched/scheduler.h"
+
+namespace sdsched {
+
+class MateSelector {
+ public:
+  MateSelector(const Machine& machine, const JobRegistry& jobs, const SdConfig& config) noexcept
+      : machine_(machine), jobs_(jobs), config_(config) {}
+
+  /// Best mate plan for `guest` at `now` under cut-off `max_slowdown`
+  /// (Eq. 2's P), or nullopt when no feasible combination exists.
+  /// `max_free_nodes` bounds how many entirely free nodes a plan may use
+  /// (0 unless the include_free_nodes option is active; the caller derives
+  /// it from the reservation profile so guests never displace reservations).
+  /// `guest_runtime` overrides the guest's planning duration (the runtime
+  /// predictor's estimate); <= 0 uses the user request.
+  [[nodiscard]] std::optional<MatePlan> select(const Job& guest, SimTime now,
+                                               double max_slowdown, int max_free_nodes = 0,
+                                               SimTime guest_runtime = 0) const;
+
+  /// Eligibility test for the mate role (exposed for tests).
+  [[nodiscard]] bool eligible_mate(const Job& candidate, const Job& guest,
+                                   SimTime now) const noexcept;
+
+ private:
+  struct NodeBudget {
+    int node = -1;
+    int mate_current = 0;    ///< mate's current cpus there
+    int mate_static = 0;     ///< mate's static split there
+    int mate_min = 1;        ///< rank floor
+    int idle = 0;            ///< free cores on the node
+    int guest_max = 0;       ///< most the guest could get on this node
+  };
+  struct Candidate {
+    JobId id = kInvalidJob;
+    int weight = 0;            ///< node count (Eq. 3's w_i)
+    double sort_penalty = 0.0; ///< Eq. 4 with the quick duration estimate
+    std::vector<NodeBudget> nodes;
+  };
+
+  [[nodiscard]] std::vector<Candidate> collect_candidates(const Job& guest, SimTime now,
+                                                          double max_slowdown,
+                                                          SimTime guest_runtime) const;
+  [[nodiscard]] std::optional<MatePlan> evaluate_combination(
+      const Job& guest, SimTime now, double max_slowdown,
+      const std::vector<const Candidate*>& combo, int free_nodes,
+      SimTime guest_runtime) const;
+
+  const Machine& machine_;
+  const JobRegistry& jobs_;
+  const SdConfig& config_;
+};
+
+}  // namespace sdsched

@@ -1,0 +1,79 @@
+#include "core/sd_policy.h"
+
+#include <algorithm>
+
+#include "core/estimator.h"
+#include "util/logging.h"
+
+namespace sdsched {
+
+bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
+                                      ReservationProfile& profile) {
+  if (!job.can_start_shrunk()) return false;
+
+  // Listing 1: pre-selection estimate. Malleability must beat the static
+  // wait before we even search for mates. All estimates use the scheduler's
+  // working duration (the prediction when future-work #2 is enabled).
+  const SimTime planned = effective_req_time(job.spec);
+  const SimTime static_end = static_end_for(est_start, planned);
+  const SimTime mall_end_quick = quick_mall_end(now, planned, sd_config_.sharing_factor);
+  if (static_end <= mall_end_quick) {
+    ++estimate_rejections_;
+    return false;
+  }
+
+  const double cutoff = compute_cutoff(sd_config_.cutoff, jobs_, now);
+
+  // Free nodes a plan may borrow without displacing this pass's
+  // reservations: whatever stays free for the quick-estimate duration.
+  int max_free_nodes = 0;
+  if (sd_config_.include_free_nodes) {
+    const SimTime d0 = mall_end_quick - now;
+    for (int f = std::min(machine_.free_node_count(), job.spec.req_nodes - 1); f >= 1; --f) {
+      if (profile.earliest_start(f, d0, now) == now) {
+        max_free_nodes = f;
+        break;
+      }
+    }
+  }
+
+  const auto plan = selector_.select(job, now, cutoff, max_free_nodes, planned);
+  if (!plan) {
+    ++selection_failures_;
+    return false;
+  }
+
+  // Re-check the decision with the plan's exact increase (the quick
+  // estimate assumed a uniform SharingFactor split).
+  const SimTime mall_end = now + planned + plan->guest_increase;
+  if (static_end <= mall_end) {
+    ++estimate_rejections_;
+    return false;
+  }
+
+  // Keep the pass profile truthful: mates now hold their nodes longer, and
+  // any free nodes the guest borrowed are occupied until mall_end.
+  for (std::size_t i = 0; i < plan->mates.size(); ++i) {
+    const Job& mate = jobs_.at(plan->mates[i]);
+    if (plan->mate_increases[i] > 0) {
+      profile.reserve(mate.predicted_end, mate.predicted_end + plan->mate_increases[i],
+                      mate.spec.req_nodes);
+    }
+  }
+  int free_borrowed = 0;
+  for (const auto& entry : plan->nodes) {
+    if (entry.mate == kInvalidJob) ++free_borrowed;
+  }
+  if (free_borrowed > 0) {
+    profile.reserve(now, mall_end, free_borrowed);
+  }
+
+  log_debug("sd", "job ", job.spec.id, " -> malleable start, ", plan->mates.size(),
+            " mates, PI=", plan->performance_impact, ", saves ",
+            static_end - mall_end, "s");
+  executor_.start_guest(job.spec.id, *plan);
+  ++malleable_starts_;
+  return true;
+}
+
+}  // namespace sdsched

@@ -1,0 +1,55 @@
+// SD-Policy: slowdown-driven malleable backfill (paper §3.1, Listing 1).
+//
+// A variant of backfill: each waiting job first gets the static trial (the
+// base class); when that cannot start it *now* and the job can start shrunk,
+// the policy estimates whether malleability would beat the static wait —
+//
+//   static_end = estimated_start + req_time      (reservation profile)
+//   mall_end   = now + req_time + increase       (worst-case model, §3.4)
+//
+// — and only when static_end > mall_end asks the MateSelector for the
+// minimum-Performance-Impact mate set. A successful plan starts the job
+// immediately on the mates' shrunk shares, extends the mates' predicted
+// ends, and keeps the pass's reservation profile consistent.
+#pragma once
+
+#include "core/cutoff.h"
+#include "core/mate_selector.h"
+#include "core/sd_config.h"
+#include "sched/backfill.h"
+
+namespace sdsched {
+
+class SdPolicyScheduler final : public BackfillScheduler {
+ public:
+  SdPolicyScheduler(Machine& machine, JobRegistry& jobs, StartExecutor& executor,
+                    SchedConfig sched_config, SdConfig sd_config) noexcept
+      : BackfillScheduler(machine, jobs, executor, sched_config),
+        sd_config_(sd_config),
+        selector_(machine, jobs, sd_config_) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "sd-policy"; }
+  [[nodiscard]] const SdConfig& sd_config() const noexcept { return sd_config_; }
+
+  // Decision counters (observability; Fig. 7 uses kernel-side records).
+  [[nodiscard]] std::uint64_t malleable_starts() const noexcept { return malleable_starts_; }
+  [[nodiscard]] std::uint64_t estimate_rejections() const noexcept {
+    return estimate_rejections_;
+  }
+  [[nodiscard]] std::uint64_t selection_failures() const noexcept {
+    return selection_failures_;
+  }
+
+ protected:
+  bool try_malleable(SimTime now, Job& job, SimTime est_start,
+                     ReservationProfile& profile) override;
+
+ private:
+  SdConfig sd_config_;
+  MateSelector selector_;
+  std::uint64_t malleable_starts_ = 0;
+  std::uint64_t estimate_rejections_ = 0;
+  std::uint64_t selection_failures_ = 0;
+};
+
+}  // namespace sdsched

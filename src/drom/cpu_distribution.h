@@ -1,0 +1,38 @@
+// Socket-aware core distribution (paper §3.3, Listing 3 step 1).
+//
+// Given the jobs on a node and the core count each should hold, assign
+// cores to sockets so that jobs land in separate sockets whenever they fit
+// ("best overall performance is obtained when the applications run isolated
+// in separate sockets"), spilling over only when they must.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/node.h"
+#include "drom/drom.h"
+
+namespace sdsched {
+
+struct CpuDemand {
+  JobId job = kInvalidJob;
+  int cpus = 0;
+};
+
+struct CpuPlacement {
+  JobId job = kInvalidJob;
+  CpuMask mask;
+};
+
+/// Distribute the demanded cores over the node's sockets. Total demand must
+/// not exceed the node's capacity. Jobs are placed largest-first; each
+/// prefers the emptiest socket and spills to the next when a socket fills.
+/// Deterministic; returns one placement per input demand.
+[[nodiscard]] std::vector<CpuPlacement> distribute_cpu(const NodeConfig& node,
+                                                       std::span<const CpuDemand> demands);
+
+/// True when no socket hosts more than one job (perfect isolation).
+[[nodiscard]] bool socket_isolated(const NodeConfig& node,
+                                   std::span<const CpuPlacement> placements);
+
+}  // namespace sdsched

@@ -1,0 +1,53 @@
+#include "drom/drom.h"
+
+#include <algorithm>
+
+namespace sdsched {
+
+void DromRegistry::attach(JobId job, int node, CpuMask mask) {
+  masks_[{job, node}] = std::move(mask);
+}
+
+void DromRegistry::detach(JobId job, int node) { masks_.erase({job, node}); }
+
+void DromRegistry::detach_all(JobId job) {
+  for (auto it = masks_.begin(); it != masks_.end();) {
+    if (it->first.first == job) {
+      it = masks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool DromRegistry::set_mask(JobId job, int node, CpuMask mask) {
+  const auto it = masks_.find({job, node});
+  if (it == masks_.end()) return false;
+  const int before = it->second.total();
+  const int after = mask.total();
+  if (after < before) ++shrink_ops_;
+  if (after > before) ++expand_ops_;
+  it->second = std::move(mask);
+  return true;
+}
+
+std::optional<CpuMask> DromRegistry::mask(JobId job, int node) const {
+  const auto it = masks_.find({job, node});
+  if (it == masks_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool DromRegistry::attached(JobId job, int node) const {
+  return masks_.count({job, node}) > 0;
+}
+
+std::vector<JobId> DromRegistry::jobs_on_node(int node) const {
+  std::vector<JobId> jobs;
+  for (const auto& [key, mask] : masks_) {
+    if (key.second == node) jobs.push_back(key.first);
+  }
+  std::sort(jobs.begin(), jobs.end());
+  return jobs;
+}
+
+}  // namespace sdsched

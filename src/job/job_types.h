@@ -1,0 +1,42 @@
+// Shared enums for job classification (Feitelson's taxonomy, paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sdsched {
+
+/// How a job can adapt its resources.
+enum class MalleabilityClass : std::uint8_t {
+  Rigid = 0,     ///< fixed allocation chosen at submit time ("static")
+  Moldable = 1,  ///< can *start* with a different allocation, then fixed
+  Malleable = 2  ///< can shrink/expand at runtime (DROM-enabled)
+};
+
+enum class JobState : std::uint8_t {
+  Pending = 0,
+  Running = 1,
+  Completed = 2,
+  Cancelled = 3  ///< never ran (e.g. impossible request); excluded from metrics
+};
+
+[[nodiscard]] constexpr std::string_view to_string(MalleabilityClass c) noexcept {
+  switch (c) {
+    case MalleabilityClass::Rigid: return "rigid";
+    case MalleabilityClass::Moldable: return "moldable";
+    case MalleabilityClass::Malleable: return "malleable";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::Pending: return "pending";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace sdsched

@@ -1,0 +1,41 @@
+// FCFS wait queue (SLURM priority queue with priority == arrival order).
+//
+// Jobs are kept in (submit, id) order; backfill walks the queue in priority
+// order and may remove from the middle when a later job starts early.
+#pragma once
+
+#include <vector>
+
+#include "sim/event.h"
+#include "util/time_utils.h"
+
+namespace sdsched {
+
+class WaitQueue {
+ public:
+  /// Insert keeping (submit, id) order. O(n) worst case, O(1) for the common
+  /// in-order arrival.
+  void push(JobId id, SimTime submit);
+
+  /// Remove a job wherever it sits. Returns false if absent.
+  bool remove(JobId id);
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool contains(JobId id) const noexcept;
+
+  /// Highest-priority (oldest) job. Requires !empty().
+  [[nodiscard]] JobId front() const { return entries_.front().id; }
+
+  /// Snapshot of ids in priority order (stable view for a scheduling pass).
+  [[nodiscard]] std::vector<JobId> ordered_ids() const;
+
+ private:
+  struct Entry {
+    SimTime submit;
+    JobId id;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sdsched

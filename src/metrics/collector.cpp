@@ -1,0 +1,60 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+
+namespace sdsched {
+
+void MetricsCollector::on_complete(const Job& job) {
+  JobRecord record;
+  record.id = job.spec.id;
+  record.submit = job.spec.submit;
+  record.start = job.start_time;
+  record.end = job.end_time;
+  record.req_time = job.spec.req_time;
+  record.base_runtime = job.spec.base_runtime;
+  record.req_cpus = job.spec.req_cpus;
+  record.req_nodes = job.spec.req_nodes;
+  record.was_guest = job.started_as_guest;
+  record.was_mate = job.ever_mate;
+  record.reconfigurations = job.shrink_count;
+  records_.push_back(record);
+}
+
+MetricsSummary MetricsCollector::summarize(int total_cores, double core_seconds,
+                                           double energy_kwh) const {
+  MetricsSummary summary;
+  summary.jobs = records_.size();
+  summary.energy_kwh = energy_kwh;
+  if (records_.empty()) return summary;
+
+  summary.first_submit = records_.front().submit;
+  summary.last_end = records_.front().end;
+  double response_sum = 0.0;
+  double wait_sum = 0.0;
+  double slowdown_sum = 0.0;
+  double bounded_sum = 0.0;
+  for (const auto& record : records_) {
+    summary.first_submit = std::min(summary.first_submit, record.submit);
+    summary.last_end = std::max(summary.last_end, record.end);
+    response_sum += static_cast<double>(record.response());
+    wait_sum += static_cast<double>(record.wait());
+    slowdown_sum += record.slowdown();
+    bounded_sum += record.bounded_slowdown();
+    if (record.was_guest) ++summary.guests;
+    if (record.was_mate) ++summary.mates;
+  }
+  const auto n = static_cast<double>(records_.size());
+  summary.makespan = summary.last_end - summary.first_submit;
+  summary.avg_response = response_sum / n;
+  summary.avg_wait = wait_sum / n;
+  summary.avg_slowdown = slowdown_sum / n;
+  summary.avg_bounded_slowdown = bounded_sum / n;
+  if (total_cores > 0 && summary.makespan > 0) {
+    summary.utilization =
+        core_seconds / (static_cast<double>(total_cores) *
+                        static_cast<double>(summary.makespan));
+  }
+  return summary;
+}
+
+}  // namespace sdsched

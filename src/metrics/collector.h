@@ -1,0 +1,71 @@
+// Per-job completion records and the aggregate metrics of §4:
+// makespan, average response time, average slowdown, energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "job/job.h"
+
+namespace sdsched {
+
+/// Everything the evaluation needs about one completed job.
+struct JobRecord {
+  JobId id = kInvalidJob;
+  SimTime submit = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  SimTime req_time = 0;
+  SimTime base_runtime = 0;
+  int req_cpus = 0;
+  int req_nodes = 0;
+  bool was_guest = false;  ///< scheduled with malleability (shrunk start)
+  bool was_mate = false;   ///< shrunk at least once to host a guest
+  int reconfigurations = 0;
+
+  [[nodiscard]] SimTime wait() const noexcept { return start - submit; }
+  [[nodiscard]] SimTime response() const noexcept { return end - submit; }
+  [[nodiscard]] SimTime runtime() const noexcept { return end - start; }
+  /// Paper metric: response / static execution time (floored at 1s).
+  [[nodiscard]] double slowdown() const noexcept {
+    return static_cast<double>(response()) /
+           static_cast<double>(std::max<SimTime>(base_runtime, 1));
+  }
+  /// Bounded slowdown with the conventional 10s threshold.
+  [[nodiscard]] double bounded_slowdown(SimTime threshold = 10) const noexcept {
+    const auto denom = static_cast<double>(std::max(base_runtime, threshold));
+    return std::max(1.0, static_cast<double>(response()) / denom);
+  }
+};
+
+struct MetricsSummary {
+  std::size_t jobs = 0;
+  SimTime first_submit = 0;
+  SimTime last_end = 0;
+  SimTime makespan = 0;
+  double avg_response = 0.0;
+  double avg_wait = 0.0;
+  double avg_slowdown = 0.0;
+  double avg_bounded_slowdown = 0.0;
+  double energy_kwh = 0.0;
+  double utilization = 0.0;  ///< busy core-seconds / (cores * makespan)
+  std::uint64_t guests = 0;  ///< jobs scheduled with malleability
+  std::uint64_t mates = 0;   ///< jobs shrunk at least once
+};
+
+class MetricsCollector {
+ public:
+  void on_complete(const Job& job);
+
+  [[nodiscard]] const std::vector<JobRecord>& records() const noexcept { return records_; }
+
+  /// Aggregate. `total_cores` and `core_seconds`/`energy_kwh` come from the
+  /// machine; pass zeros when unknown.
+  [[nodiscard]] MetricsSummary summarize(int total_cores, double core_seconds,
+                                         double energy_kwh) const;
+
+ private:
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace sdsched

@@ -1,0 +1,36 @@
+#include "metrics/summary.h"
+
+#include <sstream>
+
+#include "util/time_utils.h"
+
+namespace sdsched {
+
+std::string to_string(const MetricsSummary& summary) {
+  std::ostringstream oss;
+  oss << summary.jobs << " jobs, makespan " << format_duration(summary.makespan)
+      << ", avg response " << format_duration(static_cast<SimTime>(summary.avg_response))
+      << ", avg wait " << format_duration(static_cast<SimTime>(summary.avg_wait))
+      << ", avg slowdown " << summary.avg_slowdown << ", utilization "
+      << summary.utilization * 100.0 << "%, energy " << summary.energy_kwh << " kWh, guests "
+      << summary.guests << ", mates " << summary.mates;
+  return oss.str();
+}
+
+namespace {
+double safe_ratio(double a, double b) noexcept { return b > 0.0 ? a / b : 1.0; }
+}  // namespace
+
+NormalizedMetrics normalize(const MetricsSummary& policy,
+                            const MetricsSummary& baseline) noexcept {
+  NormalizedMetrics norm;
+  norm.makespan = safe_ratio(static_cast<double>(policy.makespan),
+                             static_cast<double>(baseline.makespan));
+  norm.avg_response = safe_ratio(policy.avg_response, baseline.avg_response);
+  norm.avg_slowdown = safe_ratio(policy.avg_slowdown, baseline.avg_slowdown);
+  norm.avg_wait = safe_ratio(policy.avg_wait, baseline.avg_wait);
+  norm.energy = safe_ratio(policy.energy_kwh, baseline.energy_kwh);
+  return norm;
+}
+
+}  // namespace sdsched

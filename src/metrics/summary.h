@@ -1,0 +1,26 @@
+// Human-readable rendering of MetricsSummary and normalized comparisons.
+#pragma once
+
+#include <string>
+
+#include "metrics/collector.h"
+
+namespace sdsched {
+
+[[nodiscard]] std::string to_string(const MetricsSummary& summary);
+
+/// Normalized view of `policy` against `baseline` (the paper reports most
+/// results "normalized to static backfill"). Values are policy/baseline;
+/// < 1 means the policy improved the metric.
+struct NormalizedMetrics {
+  double makespan = 1.0;
+  double avg_response = 1.0;
+  double avg_slowdown = 1.0;
+  double avg_wait = 1.0;
+  double energy = 1.0;
+};
+
+[[nodiscard]] NormalizedMetrics normalize(const MetricsSummary& policy,
+                                          const MetricsSummary& baseline) noexcept;
+
+}  // namespace sdsched

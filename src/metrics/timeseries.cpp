@@ -1,0 +1,61 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/time_utils.h"
+
+namespace sdsched {
+
+DailySeries DailySeries::from_records(const std::vector<JobRecord>& records) {
+  DailySeries series;
+  if (records.empty()) return series;
+
+  SimTime origin = records.front().submit;
+  SimTime last_end = records.front().end;
+  for (const auto& record : records) {
+    origin = std::min(origin, record.submit);
+    last_end = std::max(last_end, record.end);
+  }
+  const auto days = static_cast<std::size_t>(day_of(last_end - origin)) + 1;
+  series.points_.resize(days);
+  for (std::size_t d = 0; d < days; ++d) {
+    series.points_[d].day = static_cast<std::int64_t>(d);
+  }
+  std::vector<double> sums(days, 0.0);
+  for (const auto& record : records) {
+    const auto end_day = static_cast<std::size_t>(day_of(record.end - origin));
+    sums[end_day] += record.slowdown();
+    ++series.points_[end_day].jobs_completed;
+    if (record.was_guest) {
+      const auto start_day = static_cast<std::size_t>(day_of(record.start - origin));
+      ++series.points_[start_day].malleable_scheduled;
+    }
+  }
+  for (std::size_t d = 0; d < days; ++d) {
+    if (series.points_[d].jobs_completed > 0) {
+      series.points_[d].avg_slowdown =
+          sums[d] / static_cast<double>(series.points_[d].jobs_completed);
+    }
+  }
+  return series;
+}
+
+std::string DailySeries::render(const DailySeries* baseline) const {
+  std::ostringstream oss;
+  oss << "day, avg_slowdown";
+  if (baseline != nullptr) oss << ", baseline_avg_slowdown";
+  oss << ", jobs_completed, malleable_scheduled\n";
+  for (std::size_t d = 0; d < points_.size(); ++d) {
+    const auto& p = points_[d];
+    oss << p.day << ", " << p.avg_slowdown;
+    if (baseline != nullptr) {
+      const double base = d < baseline->points_.size() ? baseline->points_[d].avg_slowdown : 0.0;
+      oss << ", " << base;
+    }
+    oss << ", " << p.jobs_completed << ", " << p.malleable_scheduled << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace sdsched

@@ -1,0 +1,35 @@
+// Per-day time series for Figure 7: average slowdown of the jobs finishing
+// each day, plus how many jobs were scheduled with malleability that day.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+
+namespace sdsched {
+
+struct DailyPoint {
+  std::int64_t day = 0;
+  double avg_slowdown = 0.0;
+  std::size_t jobs_completed = 0;
+  std::size_t malleable_scheduled = 0;  ///< guests whose *start* fell on this day
+};
+
+class DailySeries {
+ public:
+  /// Build from completion records. Days are indexed from the first submit.
+  [[nodiscard]] static DailySeries from_records(const std::vector<JobRecord>& records);
+
+  [[nodiscard]] const std::vector<DailyPoint>& points() const noexcept { return points_; }
+  [[nodiscard]] std::size_t days() const noexcept { return points_.size(); }
+
+  /// CSV-ish rendering: day, avg slowdown, completions, malleable starts.
+  [[nodiscard]] std::string render(const DailySeries* baseline = nullptr) const;
+
+ private:
+  std::vector<DailyPoint> points_;
+};
+
+}  // namespace sdsched

@@ -1,0 +1,34 @@
+#include "model/progress.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sdsched {
+
+void ProgressTracker::settle(Job& job, SimTime now) const noexcept {
+  assert(now >= job.last_progress_update);
+  const auto elapsed = static_cast<double>(now - job.last_progress_update);
+  job.work_done += elapsed * job.rate;
+  job.last_progress_update = now;
+}
+
+void ProgressTracker::set_rate_from_shares(Job& job, double contention_multiplier) const noexcept {
+  job.rate = progress_rate(kind_, job.shares, job.spec.req_cpus, clamp_superlinear_) *
+             contention_multiplier;
+}
+
+SimTime ProgressTracker::remaining_wallclock(const Job& job) const noexcept {
+  const double remaining_work = static_cast<double>(job.spec.base_runtime) - job.work_done;
+  if (remaining_work <= 0.0) return 0;
+  assert(job.rate > 0.0);
+  return static_cast<SimTime>(std::ceil(remaining_work / job.rate));
+}
+
+SimTime ProgressTracker::reconfigure(Job& job, SimTime now,
+                                     double contention_multiplier) const noexcept {
+  settle(job, now);
+  set_rate_from_shares(job, contention_multiplier);
+  return now + remaining_wallclock(job);
+}
+
+}  // namespace sdsched

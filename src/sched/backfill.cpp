@@ -1,0 +1,95 @@
+#include "sched/backfill.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace sdsched {
+
+bool BackfillScheduler::try_malleable(SimTime /*now*/, Job& /*job*/, SimTime /*est_start*/,
+                                      ReservationProfile& /*profile*/) {
+  return false;  // static baseline: no malleability
+}
+
+ReservationProfile BackfillScheduler::build_profile(SimTime now) const {
+  ReservationProfile profile(machine_.node_count());
+  // A shared node frees when its *last* occupant's predicted end passes.
+  // Group nodes by free time to keep profile edits small.
+  std::map<SimTime, int> frees;
+  for (int id = 0; id < machine_.node_count(); ++id) {
+    const Node& node = machine_.node(id);
+    if (node.empty()) continue;
+    SimTime free_at = now + 1;  // overdue jobs: assume imminent completion
+    for (const auto& occ : node.occupants()) {
+      free_at = std::max(free_at, jobs_.at(occ.job).predicted_end);
+    }
+    ++frees[free_at];
+  }
+  for (const auto& [free_at, count] : frees) {
+    profile.reserve(now, free_at, count);
+  }
+  return profile;
+}
+
+void BackfillScheduler::schedule_pass(SimTime now) {
+  if (queue_.empty()) return;
+  ReservationProfile profile = build_profile(now);
+  int reservations = 0;
+  int examined = 0;
+  for (const JobId id : scheduling_order(now)) {
+    if (examined++ >= config_.bf_max_jobs) break;
+    Job& job = jobs_.at(id);
+    const int req_nodes = job.spec.req_nodes;
+    if (req_nodes > machine_.eligible_node_count(job.spec.constraints)) {
+      // No set of nodes can ever satisfy the request (§3.2.4 filtering).
+      log_warn("backfill", "job ", id, " can never fit its constraints; cancelling");
+      job.state = JobState::Cancelled;
+      queue_.remove(id);
+      ++cancelled_;
+      continue;
+    }
+    const SimTime planned = effective_req_time(job.spec);
+    const SimTime est = profile.earliest_start(req_nodes, planned, now);
+    if (est == ReservationProfile::kNever) {
+      // Larger than the machine (cannot happen for prepared workloads).
+      log_warn("backfill", "job ", id, " can never fit; cancelling");
+      job.state = JobState::Cancelled;
+      queue_.remove(id);
+      ++cancelled_;
+      continue;
+    }
+    if (est == now) {
+      const auto nodes = machine_.find_free_nodes(req_nodes, &job.spec.constraints);
+      if (nodes) {
+        queue_.remove(id);
+        profile.reserve(now, now + std::max<SimTime>(planned, 1), req_nodes);
+        executor_.start_static(id, *nodes);
+        continue;
+      }
+      if (job.spec.constraints.unconstrained()) {
+        // The profile's availability at `now` mirrors the machine exactly
+        // for unconstrained jobs; divergence means kernel bookkeeping broke.
+        log_error("backfill", "profile/machine divergence for job ", id);
+        continue;
+      }
+      // Constrained job: the shared (class-blind) profile overestimated its
+      // availability. Hold the nodes conservatively and retry next pass.
+      if (reservations < config_.reservation_depth) {
+        profile.reserve(now, now + std::max<SimTime>(planned, 1), req_nodes);
+        ++reservations;
+      }
+      continue;
+    }
+    if (try_malleable(now, job, est, profile)) {
+      queue_.remove(id);
+      continue;
+    }
+    if (reservations < config_.reservation_depth) {
+      profile.reserve(est, est + std::max<SimTime>(planned, 1), req_nodes);
+      ++reservations;
+    }
+  }
+}
+
+}  // namespace sdsched

@@ -1,0 +1,46 @@
+// Static backfill scheduler (the paper's baseline, and the base class of
+// SD-Policy).
+//
+// Every pass rebuilds the reservation profile from running jobs' predicted
+// end times (start + requested time + accrued malleability increases), then
+// walks the wait queue in priority order:
+//   * a job whose earliest feasible start is *now* starts immediately;
+//   * otherwise the policy hook try_malleable() may co-schedule it
+//     (SD-Policy overrides this; the static baseline declines);
+//   * otherwise the job receives a reservation (up to reservation_depth,
+//     i.e. EASY with depth 1, conservative-ish with more), which later jobs
+//     in the same pass must not delay.
+// Rebuilding per pass matches SLURM's backfill cycle semantics.
+#pragma once
+
+#include "sched/reservation.h"
+#include "sched/scheduler.h"
+
+namespace sdsched {
+
+class BackfillScheduler : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+
+  void schedule_pass(SimTime now) override;
+  [[nodiscard]] const char* name() const noexcept override { return "backfill"; }
+
+  /// Jobs dropped because they can never fit the machine.
+  [[nodiscard]] std::uint64_t cancelled_jobs() const noexcept { return cancelled_; }
+
+ protected:
+  /// Policy hook: attempt a malleable start for `job`, whose statically
+  /// estimated start is `est_start` (> now). Implementations must apply the
+  /// start through the executor, keep `profile` consistent (extend mates'
+  /// occupancy, reserve free nodes they consume) and return true.
+  virtual bool try_malleable(SimTime now, Job& job, SimTime est_start,
+                             ReservationProfile& profile);
+
+  /// Availability profile from current machine + predicted ends.
+  [[nodiscard]] ReservationProfile build_profile(SimTime now) const;
+
+ private:
+  std::uint64_t cancelled_ = 0;
+};
+
+}  // namespace sdsched

@@ -1,0 +1,16 @@
+#include "sched/fcfs.h"
+
+namespace sdsched {
+
+void FcfsScheduler::schedule_pass(SimTime now) {
+  while (!queue_.empty()) {
+    const JobId head = scheduling_order(now).front();
+    const Job& job = jobs_.at(head);
+    const auto nodes = machine_.find_free_nodes(job.spec.req_nodes, &job.spec.constraints);
+    if (!nodes) return;  // head blocks
+    queue_.remove(head);
+    executor_.start_static(head, *nodes);
+  }
+}
+
+}  // namespace sdsched

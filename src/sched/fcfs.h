@@ -1,0 +1,17 @@
+// Strict first-come-first-served scheduler (no backfill). The simplest
+// baseline: the head job blocks the queue until it fits.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace sdsched {
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+
+  void schedule_pass(SimTime now) override;
+  [[nodiscard]] const char* name() const noexcept override { return "fcfs"; }
+};
+
+}  // namespace sdsched

@@ -1,0 +1,73 @@
+#include "sched/reservation.h"
+
+#include <cassert>
+
+namespace sdsched {
+
+void ReservationProfile::add_delta(SimTime start, SimTime end, int delta) {
+  if (start >= end || delta == 0) return;
+  deltas_[start] += delta;
+  if (deltas_[start] == 0) deltas_.erase(start);
+  if (end < kForever) {
+    deltas_[end] -= delta;
+    if (deltas_[end] == 0) deltas_.erase(end);
+  }
+}
+
+void ReservationProfile::reserve(SimTime start, SimTime end, int nodes) {
+  assert(nodes >= 0);
+  add_delta(start, end, -nodes);
+}
+
+void ReservationProfile::release(SimTime start, SimTime end, int nodes) {
+  assert(nodes >= 0);
+  add_delta(start, end, nodes);
+}
+
+int ReservationProfile::available_at(SimTime t) const {
+  int free = capacity_;
+  for (const auto& [time, delta] : deltas_) {
+    if (time > t) break;
+    free += delta;
+  }
+  return free;
+}
+
+SimTime ReservationProfile::earliest_start(int nodes, SimTime duration,
+                                           SimTime not_before) const {
+  if (nodes > capacity_) return kNever;
+  if (nodes <= 0) return not_before;
+  duration = std::max<SimTime>(duration, 1);
+
+  // Sweep the step function once, tracking the earliest candidate start
+  // whose window [candidate, candidate + duration) stays feasible.
+  int free = capacity_;
+  SimTime candidate = not_before;
+  bool feasible = true;  // free >= nodes since `candidate`
+  for (const auto& [time, delta] : deltas_) {
+    if (feasible && time >= candidate + duration) {
+      return candidate;  // window closed before this breakpoint
+    }
+    free += delta;
+    if (time <= not_before) {
+      feasible = free >= nodes;  // establishes state at not_before
+      candidate = not_before;
+      continue;
+    }
+    if (free >= nodes) {
+      if (!feasible) {
+        candidate = time;
+        feasible = true;
+      }
+    } else {
+      feasible = false;
+    }
+  }
+  // After the last breakpoint the profile stays constant; if feasible the
+  // current candidate works, otherwise it never becomes feasible — but the
+  // invariant "profiles drain back to capacity" makes that impossible for
+  // nodes <= capacity unless permanent reservations exist.
+  return feasible ? candidate : kNever;
+}
+
+}  // namespace sdsched

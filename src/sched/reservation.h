@@ -1,0 +1,52 @@
+// Node-availability profile ("map of jobs reservations in time", §3.1).
+//
+// A piecewise-constant step function of free whole nodes over time. Built
+// fresh at the start of every scheduling pass from running jobs' predicted
+// end times, then consumed/extended as the pass starts jobs and places
+// reservations. Both the backfill baseline and the SD-Policy's static_end
+// estimate (Listing 1) read it.
+#pragma once
+
+#include <map>
+
+#include "util/time_utils.h"
+
+namespace sdsched {
+
+class ReservationProfile {
+ public:
+  /// Profile with `capacity` nodes free everywhere (before carving).
+  explicit ReservationProfile(int capacity) noexcept : capacity_(capacity) {}
+
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+
+  /// Remove `nodes` of availability over [start, end). end may be kForever.
+  /// Asserts availability never drops below zero (callers reserve only what
+  /// earliest_start said was free).
+  void reserve(SimTime start, SimTime end, int nodes);
+
+  /// Add `nodes` of availability over [start, end) — used when a running
+  /// job's predicted end moves later (mates stretched by malleability).
+  void release(SimTime start, SimTime end, int nodes);
+
+  /// Free nodes at time t.
+  [[nodiscard]] int available_at(SimTime t) const;
+
+  /// Earliest t >= not_before with `nodes` free during the whole window
+  /// [t, t + duration). Always exists (profiles drain back to capacity)
+  /// unless nodes > capacity, which returns kNever.
+  [[nodiscard]] SimTime earliest_start(int nodes, SimTime duration, SimTime not_before) const;
+
+  static constexpr SimTime kForever = INT64_MAX / 4;
+  static constexpr SimTime kNever = -1;
+
+ private:
+  void add_delta(SimTime start, SimTime end, int delta);
+
+  int capacity_;
+  // delta(t): change in free-node count at time t; free(t) = capacity +
+  // sum of deltas at times <= t.
+  std::map<SimTime, int> deltas_;
+};
+
+}  // namespace sdsched

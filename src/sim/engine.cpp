@@ -1,0 +1,20 @@
+#include "sim/engine.h"
+
+namespace sdsched {
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  const auto fired = queue_.pop();
+  assert(fired.time >= now_);
+  now_ = fired.time;
+  if (handler_) handler_(fired);
+  return true;
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+  return fired;
+}
+
+}  // namespace sdsched

@@ -1,0 +1,35 @@
+// Simulation events.
+//
+// The simulator drives four event kinds. Ties at the same timestamp are
+// broken by kind order first (ends before arrivals, so resources freed at t
+// are visible to jobs arriving at t, matching SLURM's behaviour of
+// processing completions before scheduling), then by insertion sequence for
+// determinism.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time_utils.h"
+
+namespace sdsched {
+
+using JobId = std::uint32_t;
+inline constexpr JobId kInvalidJob = UINT32_MAX;
+
+enum class EventKind : std::uint8_t {
+  JobFinish = 0,     ///< a running job completes (payload: job)
+  JobSubmit = 1,     ///< a job arrives in the wait queue (payload: job)
+  SchedulerTick = 2  ///< periodic backfill pass (no payload)
+};
+
+struct Event {
+  EventKind kind = EventKind::SchedulerTick;
+  JobId job = kInvalidJob;
+};
+
+/// Stable identity for a scheduled event, used to cancel/reschedule job
+/// finish events when malleability changes a job's completion time.
+using EventHandle = std::uint64_t;
+inline constexpr EventHandle kInvalidEvent = 0;
+
+}  // namespace sdsched

@@ -1,0 +1,56 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace sdsched {
+
+EventHandle EventQueue::schedule(SimTime time, Event event) {
+  const EventHandle handle = next_handle_++;
+  // Kind-major sequence: within a timestamp, all JobFinish events come
+  // before JobSubmit, before SchedulerTick; insertion order breaks the rest.
+  const std::uint64_t seq =
+      (static_cast<std::uint64_t>(event.kind) << 56) | (next_seq_++ & 0x00ffffffffffffffULL);
+  heap_.push(Entry{time, seq, handle, event});
+  ++live_;
+  return handle;
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (handle == kInvalidEvent) return false;
+  if (handle >= next_handle_) return false;
+  const bool inserted = cancelled_.insert(handle).second;
+  if (inserted && live_ > 0) --live_;
+  return inserted;
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().handle);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept {
+  drop_dead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  assert(live_ > 0);
+  --live_;
+  return Fired{top.time, top.event, top.handle};
+}
+
+}  // namespace sdsched

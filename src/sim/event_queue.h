@@ -1,0 +1,67 @@
+// Binary-heap event queue with O(log n) insertion and lazy cancellation.
+//
+// Malleability makes job completion times volatile: every shrink/expand
+// reschedules the affected jobs' finish events. Cancellation is lazy — a
+// cancelled handle stays in the heap and is skipped on pop — which keeps
+// cancel O(1) amortized and avoids heap surgery.
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.h"
+#include "util/time_utils.h"
+
+namespace sdsched {
+
+class EventQueue {
+ public:
+  /// Schedule `event` at `time`; returns a handle usable with cancel().
+  EventHandle schedule(SimTime time, Event event);
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled handle is a harmless no-op (returns false).
+  bool cancel(EventHandle handle);
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Time of the next live event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  struct Fired {
+    SimTime time = 0;
+    Event event;
+    EventHandle handle = kInvalidEvent;
+  };
+
+  /// Pop the next live event. Requires !empty().
+  Fired pop();
+
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  ///< kind-major, insertion-minor tiebreak key
+    EventHandle handle;
+    Event event;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventHandle> cancelled_;
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sdsched

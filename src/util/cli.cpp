@@ -1,0 +1,74 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace sdsched {
+
+namespace {
+
+std::string env_name(const std::string& flag) {
+  std::string name = "SDSCHED_";
+  for (const char c : flag) {
+    name += (c == '-') ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return name;
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_name(name).c_str()); env != nullptr) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+std::string CliArgs::get_or(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  try {
+    return std::stoll(*value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return *value == "1" || *value == "true" || *value == "yes" || *value == "on";
+}
+
+}  // namespace sdsched

@@ -1,0 +1,28 @@
+#include "util/csv.h"
+
+namespace sdsched {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote = field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace sdsched

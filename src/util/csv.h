@@ -1,0 +1,44 @@
+// Small CSV writer used by benches to dump figure data for plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdsched {
+
+/// RFC-4180-ish CSV writer: quotes fields containing commas, quotes or
+/// newlines. Rows are flushed on write; the file closes on destruction.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: stringify arithmetic values.
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(stringify(fields)), ...);
+    write_row(cells);
+  }
+
+ private:
+  template <typename T>
+  static std::string stringify(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      return std::to_string(value);
+    }
+  }
+  static std::string escape(std::string_view field);
+
+  std::ofstream out_;
+};
+
+}  // namespace sdsched

@@ -1,0 +1,47 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace sdsched {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  assert(edges_.size() >= 2);
+  assert(std::is_sorted(edges_.begin(), edges_.end()));
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+Histogram Histogram::log2_buckets(double lo, double hi) {
+  assert(lo > 0.0 && hi > lo);
+  std::vector<double> edges;
+  for (double e = lo; e < hi * 2.0; e *= 2.0) edges.push_back(e);
+  if (edges.size() < 2) edges.push_back(lo * 2.0);
+  return Histogram(std::move(edges));
+}
+
+std::size_t Histogram::bucket_index(double value) const noexcept {
+  if (value < edges_.front()) return 0;
+  if (value >= edges_.back()) return counts_.size() - 1;
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin());
+  return idx == 0 ? 0 : idx - 1;
+}
+
+void Histogram::add(double value, double weight) noexcept {
+  counts_[bucket_index(value)] += weight;
+}
+
+double Histogram::total() const noexcept {
+  double sum = 0.0;
+  for (const double c : counts_) sum += c;
+  return sum;
+}
+
+std::string Histogram::bucket_label(std::size_t bucket) const {
+  std::ostringstream oss;
+  oss << '[' << edges_.at(bucket) << ", " << edges_.at(bucket + 1) << ')';
+  return oss.str();
+}
+
+}  // namespace sdsched

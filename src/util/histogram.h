@@ -1,0 +1,38 @@
+// Fixed-edge and logarithmic histograms for workload characterization and
+// the per-category heatmaps of Figures 4-6.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdsched {
+
+/// Histogram over explicit bucket edges. A value v lands in bucket i when
+/// edges[i] <= v < edges[i+1]; values below the first edge go to bucket 0,
+/// values at or above the last edge go to the last bucket.
+class Histogram {
+ public:
+  /// Requires at least two strictly increasing edges.
+  explicit Histogram(std::vector<double> edges);
+
+  /// Power-of-two edges: lo, 2lo, 4lo, ... covering [lo, hi].
+  [[nodiscard]] static Histogram log2_buckets(double lo, double hi);
+
+  void add(double value, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::size_t bucket_index(double value) const noexcept;
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double count(std::size_t bucket) const noexcept { return counts_.at(bucket); }
+  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] const std::vector<double>& edges() const noexcept { return edges_; }
+
+  /// Human-readable label for a bucket, e.g. "[64, 128)".
+  [[nodiscard]] std::string bucket_label(std::size_t bucket) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+};
+
+}  // namespace sdsched

@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace sdsched {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  const std::scoped_lock lock(mutex_);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n", static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace sdsched

@@ -1,0 +1,130 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sdsched {
+
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * next_double(); }
+
+bool Rng::chance(double probability) noexcept { return next_double() < probability; }
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double rate) noexcept {
+  assert(rate > 0.0);
+  double u = next_double();
+  while (u <= 0.0) u = next_double();
+  return -std::log(u) / rate;
+}
+
+double Rng::gamma(double shape, double scale) noexcept {
+  assert(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape >= 1 then correct (Marsaglia-Tsang trick).
+    double u = next_double();
+    while (u <= 0.0) u = next_double();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = next_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v * scale;
+  }
+}
+
+double Rng::weibull(double shape, double scale) noexcept {
+  assert(shape > 0.0 && scale > 0.0);
+  double u = next_double();
+  while (u <= 0.0) u = next_double();
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  assert(total > 0.0);
+  double target = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+}  // namespace sdsched

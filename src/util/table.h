@@ -1,0 +1,30 @@
+// ASCII table renderer: the bench binaries print paper-style tables with
+// a `paper` column next to `measured` so runs are self-describing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sdsched {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Numeric convenience with fixed precision.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  /// Percentage with sign, e.g. "-70.4%".
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+  /// Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string str() const;
+  void print() const;  ///< to stdout
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sdsched

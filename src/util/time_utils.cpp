@@ -1,0 +1,29 @@
+#include "util/time_utils.h"
+
+#include <cstdio>
+
+namespace sdsched {
+
+std::string format_duration(SimTime seconds) {
+  if (seconds < 0) return "-" + format_duration(-seconds);
+  const SimTime days = seconds / kDay;
+  const SimTime hours = (seconds % kDay) / kHour;
+  const SimTime minutes = (seconds % kHour) / kMinute;
+  const SimTime secs = seconds % kMinute;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldd %lldh %02lldm", static_cast<long long>(days),
+                  static_cast<long long>(hours), static_cast<long long>(minutes));
+  } else if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldh %02lldm %02llds", static_cast<long long>(hours),
+                  static_cast<long long>(minutes), static_cast<long long>(secs));
+  } else if (minutes > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldm %02llds", static_cast<long long>(minutes),
+                  static_cast<long long>(secs));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(secs));
+  }
+  return buf;
+}
+
+}  // namespace sdsched

@@ -1,0 +1,41 @@
+// Application behaviour profiles for the real-run reproduction (Table 2).
+//
+// Each profile captures how an application responds to core-count changes
+// and to memory-bandwidth contention when sharing a node:
+//  * scalability_alpha — progress ~ (cpus/req)^alpha; alpha=1 is perfectly
+//    CPU-scalable (PILS), small alpha means cores barely matter (STREAM).
+//  * mem_bw_per_core   — fraction of a socket's bandwidth one core of this
+//    app consumes at full tilt; drives the contention model in
+//    model/node_perf.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace sdsched {
+
+struct ApplicationProfile {
+  std::string name;
+  double workload_share = 0.0;   ///< fraction of jobs running this app (Table 2)
+  double cpu_utilization = 1.0;  ///< 0..1, paper's "CPU utilization" column
+  double mem_utilization = 0.5;  ///< 0..1, paper's "Memory utilization" column
+  double scalability_alpha = 1.0;
+  double mem_bw_per_core = 0.02;  ///< socket-bandwidth fraction per active core
+};
+
+/// The Table 2 application mix: PILS, STREAM, CoreNeuron, NEST, Alya.
+[[nodiscard]] const std::vector<ApplicationProfile>& table2_profiles();
+
+/// Index of a profile by name (-1 if absent).
+[[nodiscard]] int profile_index(std::string_view name);
+
+/// Assign app_profile to every job, weighted by workload_share
+/// (deterministic in seed). Mirrors the paper's conversion of the Cirne log
+/// into real application submissions.
+void assign_applications(Workload& workload, std::uint64_t seed);
+
+}  // namespace sdsched

@@ -1,0 +1,38 @@
+// Standard Workload Format (Feitelson) reader/writer.
+//
+// Field layout (18 whitespace-separated columns, ';' comments):
+//   1 job number      2 submit time     3 wait time      4 run time
+//   5 procs allocated 6 avg cpu time    7 used memory    8 procs requested
+//   9 time requested 10 memory req     11 status        12 user id
+//  13 group id       14 executable     15 queue         16 partition
+//  17 preceding job  18 think time
+// We consume submit, run time, requested (falling back to allocated) procs,
+// requested time, status and user id; the writer emits all 18 columns so
+// produced traces round-trip through other SWF tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.h"
+
+namespace sdsched {
+
+struct SwfReadOptions {
+  bool skip_failed = false;      ///< drop status==0 (failed) jobs
+  bool skip_cancelled = true;    ///< drop status==5 (cancelled) jobs
+  std::size_t max_jobs = 0;      ///< 0 = unlimited
+  MalleabilityClass default_malleability = MalleabilityClass::Malleable;
+};
+
+/// Parse SWF text. Recognizes `; MaxNodes:` and `; MaxProcs:` headers.
+/// Throws std::runtime_error on malformed numeric fields.
+[[nodiscard]] Workload read_swf(std::istream& in, const SwfReadOptions& options = {});
+[[nodiscard]] Workload read_swf_file(const std::string& path,
+                                     const SwfReadOptions& options = {});
+
+/// Write a workload as SWF (with MaxNodes/MaxProcs headers when known).
+void write_swf(std::ostream& out, const Workload& workload);
+void write_swf_file(const std::string& path, const Workload& workload);
+
+}  // namespace sdsched

@@ -1,0 +1,125 @@
+#include "workload/synthetic_logs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "workload/cirne.h"
+
+namespace sdsched {
+
+namespace {
+
+/// Common skeleton: draw (nodes, runtime, request) per job from
+/// log-scale mixtures, then lay arrivals over a span derived from the
+/// target load, exactly as generate_cirne does.
+struct LogShape {
+  // size mixture: P(1 node), P(tiny 2-4), remainder log-uniform to max.
+  double p_one_node;
+  double p_tiny;
+  // runtime lognormal mixture: short jobs vs long tail.
+  double p_short;
+  double short_mu, short_sigma;
+  double long_mu, long_sigma;
+  SimTime max_runtime;
+  // request overshoot lognormal.
+  double overshoot_mu, overshoot_sigma;
+  SimTime max_req;
+};
+
+Workload generate_from_shape(const char* name, int n_jobs, int nodes, int cores_per_node,
+                             int max_job_nodes, double target_load, double pct_malleable,
+                             std::uint64_t seed, const LogShape& shape) {
+  Rng rng(seed);
+  Rng size_rng = rng.fork();
+  Rng runtime_rng = rng.fork();
+  Rng estimate_rng = rng.fork();
+  Rng arrival_rng = rng.fork();
+  Rng class_rng = rng.fork();
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(n_jobs);
+  double total_work = 0.0;
+  const double max_log2 = std::log2(static_cast<double>(std::max(2, max_job_nodes)));
+  for (int i = 0; i < n_jobs; ++i) {
+    JobSpec spec;
+    int job_nodes = 1;
+    const double u = size_rng.next_double();
+    if (u < shape.p_one_node) {
+      job_nodes = 1;
+    } else if (u < shape.p_one_node + shape.p_tiny) {
+      job_nodes = static_cast<int>(size_rng.uniform_int(2, 4));
+    } else {
+      const double l = size_rng.uniform(1.0, max_log2);
+      job_nodes = std::clamp(static_cast<int>(std::lround(std::exp2(l))), 2, max_job_nodes);
+    }
+    spec.req_cpus = job_nodes * cores_per_node;
+
+    const bool is_short = runtime_rng.chance(shape.p_short);
+    const double mu = is_short ? shape.short_mu : shape.long_mu;
+    const double sigma = is_short ? shape.short_sigma : shape.long_sigma;
+    spec.base_runtime = std::clamp<SimTime>(
+        static_cast<SimTime>(runtime_rng.lognormal(mu, sigma)), 1, shape.max_runtime);
+
+    const double overshoot =
+        estimate_rng.lognormal(shape.overshoot_mu, shape.overshoot_sigma);
+    spec.req_time = std::min<SimTime>(
+        static_cast<SimTime>(static_cast<double>(spec.base_runtime) * (1.0 + overshoot)),
+        shape.max_req);
+    spec.req_time = std::max(spec.req_time, spec.base_runtime);
+
+    spec.malleability = class_rng.chance(pct_malleable) ? MalleabilityClass::Malleable
+                                                        : MalleabilityClass::Rigid;
+    spec.user_id = static_cast<int>(class_rng.uniform_int(0, 499));
+    jobs.push_back(spec);
+    total_work += static_cast<double>(spec.base_runtime) * spec.req_cpus;
+  }
+
+  const double capacity = static_cast<double>(nodes) * cores_per_node;
+  const auto span =
+      static_cast<SimTime>(total_work / (capacity * std::max(0.01, target_load)));
+  const auto pattern = ArrivalPattern::anl();
+  const auto arrivals = generate_arrivals(n_jobs, span, pattern, arrival_rng);
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].submit = arrivals[i];
+
+  Workload workload(WorkloadInfo{name, nodes, cores_per_node}, std::move(jobs));
+  workload.prepare_for(nodes, cores_per_node);
+  log_info(name, "generated ", workload.size(), " jobs over ", format_duration(span));
+  return workload;
+}
+
+}  // namespace
+
+Workload generate_ricc_like(const RiccConfig& config) {
+  const int nodes = std::max(8, static_cast<int>(config.base_nodes * config.scale));
+  const int n_jobs = std::max(50, static_cast<int>(config.base_jobs * config.scale));
+  const int max_job =
+      std::clamp(static_cast<int>(config.max_job_nodes * config.scale), 2, nodes);
+  // RICC: dominated by 1-node jobs, short-to-long runtimes up to 4 days.
+  const LogShape shape{
+      /*p_one_node=*/0.62, /*p_tiny=*/0.18,
+      /*p_short=*/0.55, /*short_mu=*/5.2, /*short_sigma=*/1.6,
+      /*long_mu=*/9.3, /*long_sigma=*/1.3, /*max_runtime=*/4 * kDay,
+      /*overshoot_mu=*/1.2, /*overshoot_sigma=*/1.0, /*max_req=*/4 * kDay};
+  return generate_from_shape("ricc-like", n_jobs, nodes, config.cores_per_node, max_job,
+                             config.target_load, config.pct_malleable, config.seed, shape);
+}
+
+Workload generate_curie_like(const CurieConfig& config) {
+  const int nodes = std::max(16, static_cast<int>(config.base_nodes * config.scale));
+  const int n_jobs = std::max(100, static_cast<int>(config.base_jobs * config.scale));
+  const int max_job =
+      std::clamp(static_cast<int>(config.max_job_nodes * config.scale), 2, nodes);
+  // Curie primary partition: an enormous mass of very short small jobs with
+  // a wide tail, and one near-machine-size outlier class.
+  const LogShape shape{
+      /*p_one_node=*/0.70, /*p_tiny=*/0.14,
+      /*p_short=*/0.60, /*short_mu=*/4.6, /*short_sigma=*/1.8,
+      /*long_mu=*/8.8, /*long_sigma=*/1.5, /*max_runtime=*/3 * kDay,
+      /*overshoot_mu=*/1.4, /*overshoot_sigma=*/1.1, /*max_req=*/3 * kDay};
+  return generate_from_shape("curie-like", n_jobs, nodes, config.cores_per_node, max_job,
+                             config.target_load, config.pct_malleable, config.seed, shape);
+}
+
+}  // namespace sdsched

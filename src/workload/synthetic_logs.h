@@ -1,0 +1,46 @@
+// Synthetic stand-ins for the two public SWF traces the paper replays
+// (DESIGN.md §3.1): RICC-2010 (workload 3) and the cleaned CEA-Curie-2011
+// primary partition (workload 4).
+//
+// The generators match the characteristics the paper leans on — system
+// shape, job count, max job size, the dominance of small/short jobs, runtime
+// tails out to days, and heavily overestimated user requests — so queueing
+// pressure and the SD-Policy's opportunities are preserved. Feed the real
+// logs through read_swf_file() to replay the originals.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace sdsched {
+
+struct RiccConfig {
+  /// Paper scale: 10000 jobs, 1024 nodes x 8 cores, max job 72 nodes.
+  double scale = 1.0;  ///< scales nodes and job count together
+  std::uint64_t seed = 3;
+  double pct_malleable = 1.0;
+  int base_jobs = 10000;
+  int base_nodes = 1024;
+  int cores_per_node = 8;
+  int max_job_nodes = 72;
+  double target_load = 1.35;
+};
+
+struct CurieConfig {
+  /// Paper scale: 198509 jobs, 5040 nodes x 16 cores, max job 4988 nodes,
+  /// ~8-month span.
+  double scale = 1.0;
+  std::uint64_t seed = 4;
+  double pct_malleable = 1.0;
+  int base_jobs = 198509;
+  int base_nodes = 5040;
+  int cores_per_node = 16;
+  int max_job_nodes = 4988;
+  double target_load = 0.82;  ///< Curie ran below saturation on average
+};
+
+[[nodiscard]] Workload generate_ricc_like(const RiccConfig& config);
+[[nodiscard]] Workload generate_curie_like(const CurieConfig& config);
+
+}  // namespace sdsched

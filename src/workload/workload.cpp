@@ -1,0 +1,59 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+namespace sdsched {
+
+void Workload::normalize() {
+  std::stable_sort(jobs_.begin(), jobs_.end(), [](const JobSpec& a, const JobSpec& b) {
+    return a.submit != b.submit ? a.submit < b.submit : a.id < b.id;
+  });
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].id = static_cast<JobId>(i);
+  }
+}
+
+std::size_t Workload::prepare_for(int system_nodes, int cores_per_node) {
+  info_.system_nodes = system_nodes;
+  info_.cores_per_node = cores_per_node;
+  const int max_cpus = system_nodes * cores_per_node;
+  std::vector<JobSpec> kept;
+  kept.reserve(jobs_.size());
+  std::size_t dropped = 0;
+  for (JobSpec spec : jobs_) {
+    if (spec.base_runtime <= 0 || spec.req_cpus <= 0) {
+      ++dropped;
+      continue;
+    }
+    spec.req_cpus = std::min(spec.req_cpus, max_cpus);
+    spec.req_nodes = nodes_for(spec.req_cpus, cores_per_node);
+    if (spec.req_time <= 0) spec.req_time = spec.base_runtime;
+    spec.req_time = std::max(spec.req_time, spec.base_runtime);
+    spec.ranks_per_node = std::max(1, std::min(spec.ranks_per_node, cores_per_node));
+    kept.push_back(spec);
+  }
+  jobs_ = std::move(kept);
+  normalize();
+  return dropped;
+}
+
+double Workload::total_work_core_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& spec : jobs_) {
+    total += static_cast<double>(spec.base_runtime) * static_cast<double>(spec.req_cpus);
+  }
+  return total;
+}
+
+double Workload::offered_load(int total_cores) const noexcept {
+  if (jobs_.empty() || total_cores <= 0) return 0.0;
+  const auto [min_it, max_it] =
+      std::minmax_element(jobs_.begin(), jobs_.end(), [](const JobSpec& a, const JobSpec& b) {
+        return a.submit < b.submit;
+      });
+  const auto span = static_cast<double>(max_it->submit - min_it->submit);
+  if (span <= 0.0) return 0.0;
+  return total_work_core_seconds() / (static_cast<double>(total_cores) * span);
+}
+
+}  // namespace sdsched

@@ -1,0 +1,52 @@
+// Workload container: an ordered list of JobSpecs plus the system the trace
+// targets. Produced by the SWF reader or the statistical generators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "job/job.h"
+
+namespace sdsched {
+
+struct WorkloadInfo {
+  std::string name = "workload";
+  int system_nodes = 0;     ///< nodes of the target machine (0 = unknown)
+  int cores_per_node = 0;   ///< 0 = unknown
+};
+
+class Workload {
+ public:
+  Workload() = default;
+  Workload(WorkloadInfo info, std::vector<JobSpec> jobs)
+      : info_(std::move(info)), jobs_(std::move(jobs)) {}
+
+  [[nodiscard]] const WorkloadInfo& info() const noexcept { return info_; }
+  [[nodiscard]] WorkloadInfo& info() noexcept { return info_; }
+  [[nodiscard]] const std::vector<JobSpec>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::vector<JobSpec>& jobs() noexcept { return jobs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return jobs_.empty(); }
+
+  void add(JobSpec spec) { jobs_.push_back(spec); }
+
+  /// Sort by (submit, id) and renumber ids densely from 0 — the registry
+  /// requires dense in-order ids.
+  void normalize();
+
+  /// Clamp requests to the machine, derive req_nodes from req_cpus, drop
+  /// unrunnable jobs (zero runtime/cpus). Returns dropped count.
+  std::size_t prepare_for(int system_nodes, int cores_per_node);
+
+  /// Sum over jobs of base_runtime * req_cpus (core-seconds of real work).
+  [[nodiscard]] double total_work_core_seconds() const noexcept;
+
+  /// Offered load: total work / (capacity * submit-span).
+  [[nodiscard]] double offered_load(int total_cores) const noexcept;
+
+ private:
+  WorkloadInfo info_;
+  std::vector<JobSpec> jobs_;
+};
+
+}  // namespace sdsched

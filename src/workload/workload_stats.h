@@ -1,0 +1,33 @@
+// Workload characterization: the trace-side columns of Table 1 plus the
+// distribution summaries used to sanity-check generated traces.
+#pragma once
+
+#include <string>
+
+#include "workload/workload.h"
+
+namespace sdsched {
+
+struct WorkloadStats {
+  std::string name;
+  std::size_t n_jobs = 0;
+  int system_nodes = 0;
+  int system_cores = 0;
+  int max_job_nodes = 0;
+  int max_job_cpus = 0;
+  SimTime submit_span = 0;
+  double mean_runtime = 0.0;
+  double median_runtime = 0.0;
+  double mean_req_time = 0.0;
+  double mean_nodes = 0.0;
+  double offered_load = 0.0;
+  double request_accuracy = 0.0;  ///< mean(base_runtime / req_time), 1 = exact
+  double pct_malleable = 0.0;
+};
+
+[[nodiscard]] WorkloadStats characterize(const Workload& workload);
+
+/// Multi-line human-readable rendering.
+[[nodiscard]] std::string to_string(const WorkloadStats& stats);
+
+}  // namespace sdsched

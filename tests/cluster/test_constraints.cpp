@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "cluster/machine.h"
+
+namespace sdsched {
+namespace {
+
+MachineConfig hetero_config() {
+  MachineConfig config;
+  config.nodes = 8;
+  config.node = NodeConfig{2, 24};
+  config.attributes = NodeAttributes{"x86_64", 96, "opa"};
+  // Nodes 4-5: high-memory; nodes 6-7: different arch + fabric.
+  config.attribute_overrides = {
+      {4, NodeAttributes{"x86_64", 384, "opa"}},
+      {5, NodeAttributes{"x86_64", 384, "opa"}},
+      {6, NodeAttributes{"aarch64", 96, "ib"}},
+      {7, NodeAttributes{"aarch64", 96, "ib"}},
+  };
+  return config;
+}
+
+TEST(Constraints, NodeSatisfiesMatchesEachAxis) {
+  const NodeAttributes attrs{"x86_64", 96, "opa"};
+  EXPECT_TRUE(node_satisfies(attrs, JobConstraints{}));
+  EXPECT_TRUE(node_satisfies(attrs, (JobConstraints{"x86_64", 96, "opa", false})));
+  EXPECT_FALSE(node_satisfies(attrs, (JobConstraints{"aarch64", 0, "", false})));
+  EXPECT_FALSE(node_satisfies(attrs, (JobConstraints{"", 128, "", false})));
+  EXPECT_FALSE(node_satisfies(attrs, (JobConstraints{"", 0, "ib", false})));
+}
+
+TEST(Constraints, UnconstrainedPredicate) {
+  EXPECT_TRUE(JobConstraints{}.unconstrained());
+  EXPECT_FALSE((JobConstraints{"x86_64", 0, "", false}).unconstrained());
+  EXPECT_FALSE((JobConstraints{"", 1, "", false}).unconstrained());
+  EXPECT_FALSE((JobConstraints{"", 0, "", true}).unconstrained());
+}
+
+TEST(Constraints, AttributeOverridesApplied) {
+  const Machine machine(hetero_config());
+  EXPECT_EQ(machine.node(0).attributes().memory_gb, 96);
+  EXPECT_EQ(machine.node(4).attributes().memory_gb, 384);
+  EXPECT_EQ(machine.node(6).attributes().arch, "aarch64");
+}
+
+TEST(Constraints, FindFreeNodesFiltersByMemory) {
+  const Machine machine(hetero_config());
+  JobConstraints highmem;
+  highmem.min_memory_gb = 256;
+  const auto nodes = machine.find_free_nodes(2, &highmem);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<int>{4, 5}));
+  EXPECT_FALSE(machine.find_free_nodes(3, &highmem).has_value());
+}
+
+TEST(Constraints, FindFreeNodesFiltersByArch) {
+  const Machine machine(hetero_config());
+  JobConstraints arm;
+  arm.required_arch = "aarch64";
+  const auto nodes = machine.find_free_nodes(2, &arm);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<int>{6, 7}));
+}
+
+TEST(Constraints, EligibleNodeCount) {
+  const Machine machine(hetero_config());
+  JobConstraints highmem;
+  highmem.min_memory_gb = 256;
+  EXPECT_EQ(machine.eligible_node_count(highmem), 2);
+  EXPECT_EQ(machine.eligible_node_count(JobConstraints{}), 8);
+}
+
+TEST(Constraints, ContiguousRequiresConsecutiveIds) {
+  Machine machine(hetero_config());
+  // Occupy node 1 to split the x86 range {0,1,2,3} into {0} and {2,3}.
+  machine.allocate_exclusive(0, 1, {1}, {48});
+  JobConstraints contig;
+  contig.contiguous = true;
+  const auto two = machine.find_free_nodes(2, &contig);
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ(*two, (std::vector<int>{2, 3}));
+  // An unfiltered contiguous request takes the earliest run: {2,3,4,5}.
+  const auto four = machine.find_free_nodes(4, &contig);
+  ASSERT_TRUE(four.has_value());
+  EXPECT_EQ(*four, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(Constraints, ContiguousPlusFilterCombines) {
+  Machine machine(hetero_config());
+  machine.allocate_exclusive(0, 1, {5}, {48});  // split the high-mem pair
+  JobConstraints c;
+  c.contiguous = true;
+  c.min_memory_gb = 256;
+  EXPECT_FALSE(machine.find_free_nodes(2, &c).has_value());
+  EXPECT_TRUE(machine.find_free_nodes(1, &c).has_value());
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,59 @@
+#include "cluster/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace sdsched {
+namespace {
+
+TEST(Energy, ZeroWithoutTime) {
+  EnergyAccountant acc(EnergyConfig{}, 4);
+  acc.observe(0, 10, 1);
+  EXPECT_DOUBLE_EQ(acc.joules(), 0.0);
+}
+
+TEST(Energy, IdleOnlyMachine) {
+  EnergyAccountant acc(EnergyConfig{100.0, 5.0, false}, 3);
+  acc.observe(0, 0, 0);
+  acc.observe(10, 0, 0);
+  EXPECT_DOUBLE_EQ(acc.joules(), 3 * 100.0 * 10);
+}
+
+TEST(Energy, BusyCoresAddIncrementalDraw) {
+  EnergyAccountant acc(EnergyConfig{100.0, 5.0, false}, 1);
+  acc.observe(0, 20, 1);
+  acc.observe(10, 0, 0);
+  EXPECT_DOUBLE_EQ(acc.joules(), (100.0 + 20 * 5.0) * 10);
+}
+
+TEST(Energy, PowerDownIdleNodesCountsOccupiedOnly) {
+  EnergyAccountant acc(EnergyConfig{100.0, 0.0, true}, 10);
+  acc.observe(0, 0, 2);
+  acc.observe(5, 0, 0);
+  EXPECT_DOUBLE_EQ(acc.joules(), 2 * 100.0 * 5);
+}
+
+TEST(Energy, PiecewiseIntegration) {
+  EnergyAccountant acc(EnergyConfig{0.0, 1.0, false}, 1);
+  acc.observe(0, 10, 1);
+  acc.observe(10, 30, 1);   // 10s at 10 cores
+  acc.observe(20, 0, 0);    // 10s at 30 cores
+  EXPECT_DOUBLE_EQ(acc.joules(), 10.0 * 10 + 30.0 * 10);
+}
+
+TEST(Energy, KwhConversion) {
+  EnergyAccountant acc(EnergyConfig{1000.0, 0.0, false}, 1);
+  acc.observe(0, 0, 0);
+  acc.observe(3600, 0, 0);
+  EXPECT_DOUBLE_EQ(acc.kwh(), 1.0);
+}
+
+TEST(Energy, ObserveSameTimestampOnlyUpdatesLoad) {
+  EnergyAccountant acc(EnergyConfig{0.0, 1.0, false}, 1);
+  acc.observe(0, 5, 1);
+  acc.observe(0, 50, 1);  // replaces the load with no elapsed time
+  acc.observe(10, 0, 0);
+  EXPECT_DOUBLE_EQ(acc.joules(), 500.0);
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,109 @@
+#include "cluster/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace sdsched {
+namespace {
+
+Machine make_machine(int nodes = 4) {
+  MachineConfig config;
+  config.nodes = nodes;
+  config.node = NodeConfig{2, 24};
+  return Machine(config);
+}
+
+TEST(Machine, InitialGeometry) {
+  const Machine machine = make_machine(4);
+  EXPECT_EQ(machine.node_count(), 4);
+  EXPECT_EQ(machine.cores_per_node(), 48);
+  EXPECT_EQ(machine.total_cores(), 192);
+  EXPECT_EQ(machine.free_node_count(), 4);
+  EXPECT_EQ(machine.busy_cores(), 0);
+  EXPECT_EQ(machine.occupied_nodes(), 0);
+}
+
+TEST(Machine, FindFreeNodesLowestFirst) {
+  Machine machine = make_machine(4);
+  const auto nodes = machine.find_free_nodes(2);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<int>{0, 1}));
+  EXPECT_FALSE(machine.find_free_nodes(5).has_value());
+}
+
+TEST(Machine, AllocateExclusiveTracksLoad) {
+  Machine machine = make_machine(4);
+  EXPECT_TRUE(machine.allocate_exclusive(0, 1, {0, 1}, {48, 48}));
+  EXPECT_EQ(machine.free_node_count(), 2);
+  EXPECT_EQ(machine.busy_cores(), 96);
+  EXPECT_EQ(machine.occupied_nodes(), 2);
+  EXPECT_DOUBLE_EQ(machine.utilization(), 0.5);
+}
+
+TEST(Machine, AllocateExclusivePartialCpus) {
+  Machine machine = make_machine(2);
+  // A 50-cpu job on 2 nodes holds 25+25 but blocks both nodes.
+  EXPECT_TRUE(machine.allocate_exclusive(0, 1, {0, 1}, {25, 25}));
+  EXPECT_EQ(machine.busy_cores(), 50);
+  EXPECT_EQ(machine.free_node_count(), 0);
+}
+
+TEST(Machine, AllocateExclusiveRefusesOccupied) {
+  Machine machine = make_machine(2);
+  ASSERT_TRUE(machine.allocate_exclusive(0, 1, {0}, {48}));
+  EXPECT_FALSE(machine.allocate_exclusive(0, 2, {0, 1}, {48, 48}));
+  // Failure must not leak occupancy onto node 1.
+  EXPECT_EQ(machine.free_node_count(), 1);
+  EXPECT_EQ(machine.busy_cores(), 48);
+}
+
+TEST(Machine, SharesAndRelease) {
+  Machine machine = make_machine(2);
+  machine.allocate_exclusive(0, 1, {0}, {48});
+  EXPECT_TRUE(machine.resize_share(10, 1, 0, 24));
+  EXPECT_EQ(machine.busy_cores(), 24);
+  EXPECT_TRUE(machine.add_share(10, 2, 0, 24, false));
+  EXPECT_EQ(machine.busy_cores(), 48);
+  EXPECT_EQ(machine.free_node_count(), 1);
+
+  EXPECT_EQ(machine.remove_share(20, 2, 0), 24);
+  EXPECT_EQ(machine.busy_cores(), 24);
+  EXPECT_EQ(machine.free_node_count(), 1);  // owner still there
+  machine.release_all(30, 1, {0});
+  EXPECT_EQ(machine.free_node_count(), 2);
+  EXPECT_EQ(machine.busy_cores(), 0);
+}
+
+TEST(Machine, CoreSecondsIntegration) {
+  Machine machine = make_machine(1);
+  machine.allocate_exclusive(0, 1, {0}, {48});
+  machine.release_all(100, 1, {0});
+  machine.finalize_energy(100);
+  EXPECT_DOUBLE_EQ(machine.core_seconds(), 4800.0);
+}
+
+TEST(Machine, EnergyAccumulatesIdleAndBusy) {
+  MachineConfig config;
+  config.nodes = 2;
+  config.node = NodeConfig{2, 24};
+  config.energy.idle_watts_per_node = 100.0;
+  config.energy.watts_per_busy_core = 2.0;
+  Machine machine(config);
+  machine.allocate_exclusive(0, 1, {0}, {48});
+  machine.release_all(50, 1, {0});
+  machine.finalize_energy(100);
+  // [0,50): 2 nodes idle draw + 48 busy cores; [50,100): idle only.
+  const double expected = (2 * 100.0 + 48 * 2.0) * 50 + (2 * 100.0) * 50;
+  EXPECT_DOUBLE_EQ(machine.energy().joules(), expected);
+}
+
+TEST(Machine, FreedNodeIsReusable) {
+  Machine machine = make_machine(1);
+  machine.allocate_exclusive(0, 1, {0}, {48});
+  machine.release_all(10, 1, {0});
+  const auto nodes = machine.find_free_nodes(1);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_TRUE(machine.allocate_exclusive(10, 2, *nodes, {48}));
+}
+
+}  // namespace
+}  // namespace sdsched

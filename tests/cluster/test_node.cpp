@@ -1,0 +1,93 @@
+#include "cluster/node.h"
+
+#include <gtest/gtest.h>
+
+namespace sdsched {
+namespace {
+
+Node make_node(int id = 0) { return Node(id, NodeConfig{2, 24}); }
+
+TEST(Node, GeometryFromConfig) {
+  const Node node = make_node(3);
+  EXPECT_EQ(node.id(), 3);
+  EXPECT_EQ(node.total_cores(), 48);
+  EXPECT_EQ(node.sockets(), 2);
+  EXPECT_EQ(node.cores_per_socket(), 24);
+  EXPECT_TRUE(node.empty());
+  EXPECT_EQ(node.free_cores(), 48);
+}
+
+TEST(Node, AddAndRemoveOccupant) {
+  Node node = make_node();
+  EXPECT_TRUE(node.add(1, 48, true));
+  EXPECT_FALSE(node.empty());
+  EXPECT_EQ(node.used_cores(), 48);
+  EXPECT_EQ(node.free_cores(), 0);
+  EXPECT_TRUE(node.holds(1));
+  EXPECT_EQ(node.remove(1), 48);
+  EXPECT_TRUE(node.empty());
+  EXPECT_EQ(node.remove(1), 0);
+}
+
+TEST(Node, RejectsOvercommit) {
+  Node node = make_node();
+  EXPECT_TRUE(node.add(1, 40, true));
+  EXPECT_FALSE(node.add(2, 9, false));
+  EXPECT_TRUE(node.add(2, 8, false));
+  EXPECT_EQ(node.used_cores(), 48);
+}
+
+TEST(Node, RejectsDuplicateJob) {
+  Node node = make_node();
+  EXPECT_TRUE(node.add(1, 10, true));
+  EXPECT_FALSE(node.add(1, 10, false));
+}
+
+TEST(Node, RejectsZeroCpus) {
+  Node node = make_node();
+  EXPECT_FALSE(node.add(1, 0, true));
+}
+
+TEST(Node, SharedWhenTwoOccupants) {
+  Node node = make_node();
+  node.add(1, 24, true);
+  EXPECT_FALSE(node.shared());
+  node.add(2, 24, false);
+  EXPECT_TRUE(node.shared());
+  EXPECT_EQ(node.occupant_count(), 2u);
+}
+
+TEST(Node, OwnerLookup) {
+  Node node = make_node();
+  node.add(1, 24, true);
+  node.add(2, 24, false);
+  const auto owner = node.owner();
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(owner->job, 1u);
+  const auto occ = node.occupant(2);
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_FALSE(occ->owner);
+  EXPECT_FALSE(node.occupant(99).has_value());
+}
+
+TEST(Node, ResizeWithinCapacity) {
+  Node node = make_node();
+  node.add(1, 48, true);
+  EXPECT_TRUE(node.resize(1, 24));
+  EXPECT_EQ(node.free_cores(), 24);
+  EXPECT_TRUE(node.add(2, 24, false));
+  // Owner cannot grow back past the guest.
+  EXPECT_FALSE(node.resize(1, 25));
+  EXPECT_TRUE(node.resize(1, 24));
+}
+
+TEST(Node, ResizeRejectsInvalid) {
+  Node node = make_node();
+  node.add(1, 10, true);
+  EXPECT_FALSE(node.resize(1, 0));
+  EXPECT_FALSE(node.resize(2, 5));
+  EXPECT_FALSE(node.resize(1, 49));
+}
+
+}  // namespace
+}  // namespace sdsched

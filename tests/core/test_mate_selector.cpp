@@ -1,0 +1,250 @@
+#include "core/mate_selector.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "drom/node_manager.h"
+
+namespace sdsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class MateSelectorTest : public ::testing::Test {
+ protected:
+  MateSelectorTest()
+      : machine_(make_config()), mgr_(machine_, jobs_, drom_), selector_(machine_, jobs_, sd_) {}
+
+  static MachineConfig make_config() {
+    MachineConfig config;
+    config.nodes = 8;
+    config.node = NodeConfig{2, 24};
+    return config;
+  }
+
+  /// A running mate started at `start`, holding `nodes` full nodes.
+  JobId run_mate(int nodes, SimTime start, SimTime req_time, SimTime submit = 0) {
+    JobSpec spec;
+    spec.submit = submit;
+    spec.req_time = req_time;
+    spec.base_runtime = req_time;
+    spec.req_cpus = nodes * 48;
+    spec.req_nodes = nodes;
+    const JobId id = jobs_.add(spec);
+    Job& job = jobs_.at(id);
+    job.state = JobState::Running;
+    job.start_time = start;
+    job.predicted_end = start + req_time;
+    const auto free = machine_.find_free_nodes(nodes);
+    mgr_.start_static(start, id, *free);
+    return id;
+  }
+
+  /// A pending guest requesting `nodes` full nodes.
+  Job& pending_guest(int nodes, SimTime req_time, SimTime submit = 0) {
+    JobSpec spec;
+    spec.submit = submit;
+    spec.req_time = req_time;
+    spec.base_runtime = req_time;
+    spec.req_cpus = nodes * 48;
+    spec.req_nodes = nodes;
+    const JobId id = jobs_.add(spec);
+    return jobs_.at(id);
+  }
+
+  Machine machine_;
+  JobRegistry jobs_;
+  DromRegistry drom_;
+  NodeManager mgr_;
+  SdConfig sd_;
+  MateSelector selector_;
+};
+
+TEST_F(MateSelectorTest, SelectsSingleMatchingMate) {
+  const JobId mate = run_mate(2, 0, 10000);
+  Job& guest = pending_guest(2, 1000);
+  const auto plan = selector_.select(guest, 100, kInf);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->mates, (std::vector<JobId>{mate}));
+  ASSERT_EQ(plan->nodes.size(), 2u);
+  // SharingFactor 0.5 on 48-core nodes: guest gets 24, mate keeps 24.
+  for (const auto& entry : plan->nodes) {
+    EXPECT_EQ(entry.guest_cpus, 24);
+    EXPECT_EQ(entry.mate_kept_cpus, 24);
+    EXPECT_EQ(entry.guest_static_cpus, 48);
+  }
+  // Guest at rate 0.5 -> increase == req_time (doubling).
+  EXPECT_EQ(plan->guest_increase, 1000);
+  EXPECT_EQ(plan->guest_duration, 2000);
+}
+
+TEST_F(MateSelectorTest, WeightConstraintIsExact) {
+  run_mate(3, 0, 10000);  // w=3 cannot serve W=2
+  Job& guest = pending_guest(2, 100);
+  EXPECT_FALSE(selector_.select(guest, 0, kInf).has_value());
+}
+
+TEST_F(MateSelectorTest, TwoMatesCombineToMatchWeight) {
+  const JobId m1 = run_mate(1, 0, 10000);
+  const JobId m2 = run_mate(2, 0, 10000);
+  Job& guest = pending_guest(3, 500);
+  const auto plan = selector_.select(guest, 0, kInf);
+  ASSERT_TRUE(plan.has_value());
+  std::vector<JobId> mates = plan->mates;
+  std::sort(mates.begin(), mates.end());
+  EXPECT_EQ(mates, (std::vector<JobId>{m1, m2}));
+  EXPECT_EQ(plan->nodes.size(), 3u);
+}
+
+TEST_F(MateSelectorTest, MaxMatesLimitsCombination) {
+  run_mate(1, 0, 10000);
+  run_mate(1, 0, 10000);
+  run_mate(1, 0, 10000);
+  Job& guest = pending_guest(3, 100);
+  // m=2 (default): cannot assemble 3 nodes from three 1-node mates.
+  EXPECT_FALSE(selector_.select(guest, 0, kInf).has_value());
+
+  SdConfig wide = sd_;
+  wide.max_mates = 3;
+  MateSelector wide_selector(machine_, jobs_, wide);
+  EXPECT_TRUE(wide_selector.select(guest, 0, kInf).has_value());
+}
+
+TEST_F(MateSelectorTest, PrefersLowerPenaltyMate) {
+  // Two eligible 2-node mates; the one that waited less has lower penalty
+  // (Eq. 4) and must be chosen.
+  const JobId waited_long = run_mate(2, 1000, 10000, /*submit=*/0);
+  const JobId waited_short = run_mate(2, 1000, 10000, /*submit=*/990);
+  Job& guest = pending_guest(2, 500);
+  const auto plan = selector_.select(guest, 1500, kInf);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->mates, (std::vector<JobId>{waited_short}));
+  (void)waited_long;
+}
+
+TEST_F(MateSelectorTest, CutoffFiltersPenalizedMates) {
+  // Mate that already waited 9x its requested time: penalty ~ >10.
+  run_mate(2, 9000, 1000, /*submit=*/0);
+  Job& guest = pending_guest(2, 100);
+  EXPECT_FALSE(selector_.select(guest, 9000, 5.0).has_value());
+  EXPECT_TRUE(selector_.select(guest, 9000, kInf).has_value());
+}
+
+TEST_F(MateSelectorTest, GuestMustFinishInsideMateAllocation) {
+  // Mate has only 500s left; guest needs ~2000s shrunk -> infeasible.
+  run_mate(2, 0, 500);
+  Job& guest = pending_guest(2, 1000);
+  EXPECT_FALSE(selector_.select(guest, 0, kInf).has_value());
+}
+
+TEST_F(MateSelectorTest, RigidJobsAreNotMates) {
+  JobSpec spec;
+  spec.req_time = 10000;
+  spec.base_runtime = 10000;
+  spec.req_cpus = 96;
+  spec.req_nodes = 2;
+  spec.malleability = MalleabilityClass::Rigid;
+  const JobId id = jobs_.add(spec);
+  Job& job = jobs_.at(id);
+  job.state = JobState::Running;
+  job.predicted_end = 10000;
+  mgr_.start_static(0, id, *machine_.find_free_nodes(2));
+
+  Job& guest = pending_guest(2, 100);
+  EXPECT_FALSE(selector_.select(guest, 0, kInf).has_value());
+}
+
+TEST_F(MateSelectorTest, BusyMatesWithGuestsAreIneligible) {
+  const JobId mate = run_mate(2, 0, 10000);
+  jobs_.at(mate).guests.push_back(999);  // already hosting
+  Job& guest = pending_guest(2, 100);
+  EXPECT_FALSE(selector_.select(guest, 0, kInf).has_value());
+}
+
+TEST_F(MateSelectorTest, ExGuestsAreIneligible) {
+  const JobId mate = run_mate(2, 0, 10000);
+  jobs_.at(mate).started_as_guest = true;
+  Job& guest = pending_guest(2, 100);
+  EXPECT_FALSE(selector_.select(guest, 0, kInf).has_value());
+}
+
+TEST_F(MateSelectorTest, RankFloorBlocksOverShrink) {
+  // Mate runs pure-MPI-ish: 30 ranks per node. SharingFactor would take 24,
+  // leaving 24 < 30 -> only 18 can go to the guest; still feasible.
+  JobSpec spec;
+  spec.req_time = 10000;
+  spec.base_runtime = 10000;
+  spec.req_cpus = 96;
+  spec.req_nodes = 2;
+  spec.ranks_per_node = 30;
+  const JobId id = jobs_.add(spec);
+  Job& mate = jobs_.at(id);
+  mate.state = JobState::Running;
+  mate.predicted_end = 10000;
+  mgr_.start_static(0, id, *machine_.find_free_nodes(2));
+
+  Job& guest = pending_guest(2, 100);
+  const auto plan = selector_.select(guest, 0, kInf);
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& entry : plan->nodes) {
+    EXPECT_EQ(entry.mate_kept_cpus, 30);
+    EXPECT_EQ(entry.guest_cpus, 18);
+  }
+}
+
+TEST_F(MateSelectorTest, MinimizesPerformanceImpactAcrossCombinations) {
+  // W=2 can be served by one 2-node mate (penalty p) or two 1-node mates
+  // (penalty ~2p): the single mate must win.
+  const JobId two_node = run_mate(2, 100, 10000, 0);
+  run_mate(1, 100, 10000, 0);
+  run_mate(1, 100, 10000, 0);
+  Job& guest = pending_guest(2, 500);
+  const auto plan = selector_.select(guest, 200, kInf);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->mates, (std::vector<JobId>{two_node}));
+}
+
+TEST_F(MateSelectorTest, FreeNodesReduceMateCount) {
+  SdConfig with_free = sd_;
+  with_free.include_free_nodes = true;
+  MateSelector free_selector(machine_, jobs_, with_free);
+
+  run_mate(2, 0, 10000);  // leaves 6 nodes free
+  Job& guest = pending_guest(3, 500);
+  // Without free nodes: no combination sums to 3.
+  EXPECT_FALSE(selector_.select(guest, 0, kInf, 0).has_value());
+  // With free nodes: 2 free + ... no; 1 mate (w=2) + 1 free = 3. Feasible.
+  const auto plan = free_selector.select(guest, 0, kInf, 6);
+  ASSERT_TRUE(plan.has_value());
+  int free_entries = 0;
+  for (const auto& entry : plan->nodes) {
+    if (entry.mate == kInvalidJob) {
+      ++free_entries;
+      EXPECT_EQ(entry.guest_cpus, 48);  // full node for the guest
+    }
+  }
+  EXPECT_EQ(free_entries, 1);
+}
+
+TEST_F(MateSelectorTest, GuestIncreaseUsesWorstCaseRate) {
+  // Guest on 1 node, SharingFactor 0.5: rate 0.5 -> duration doubles.
+  run_mate(1, 0, 100000);
+  Job& guest = pending_guest(1, 700);
+  const auto plan = selector_.select(guest, 0, kInf);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->guest_increase, 700);
+  // Mate increase: (1 - 0.5) * guest_duration = 700.
+  ASSERT_EQ(plan->mate_increases.size(), 1u);
+  EXPECT_EQ(plan->mate_increases[0], 700);
+}
+
+TEST_F(MateSelectorTest, PendingJobsNeverSelected) {
+  Job& other = pending_guest(2, 1000);  // pending, same size
+  (void)other;
+  Job& guest = pending_guest(2, 100);
+  EXPECT_FALSE(selector_.select(guest, 0, kInf).has_value());
+}
+
+}  // namespace
+}  // namespace sdsched

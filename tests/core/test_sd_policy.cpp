@@ -1,0 +1,218 @@
+#include "core/sd_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "../sched/scheduler_test_harness.h"
+
+namespace sdsched {
+namespace {
+
+using testing_support::RecordingExecutor;
+using testing_support::finish;
+using testing_support::spec_of;
+
+class SdPolicyTest : public ::testing::Test {
+ protected:
+  SdPolicyTest()
+      : machine_(make_config()),
+        mgr_(machine_, jobs_, drom_),
+        executor_(machine_, jobs_, mgr_),
+        sched_(machine_, jobs_, executor_, SchedConfig{}, permissive()) {}
+
+  // Unit tests exercise the mechanics with an unbounded cut-off; DynAVGSD's
+  // filtering (which needs a populated machine to admit anyone) has its own
+  // dedicated test below.
+  static SdConfig permissive() {
+    SdConfig config;
+    config.cutoff = CutoffConfig::infinite();
+    return config;
+  }
+
+  static MachineConfig make_config() {
+    MachineConfig config;
+    config.nodes = 4;
+    config.node = NodeConfig{2, 24};
+    return config;
+  }
+
+  JobId submit(int cpus, SimTime runtime, SimTime req_time, SimTime submit_time = 0,
+               MalleabilityClass cls = MalleabilityClass::Malleable) {
+    const JobId id = jobs_.add(spec_of(submit_time, runtime, req_time, cpus, 48, cls));
+    sched_.on_submit(id);
+    return id;
+  }
+
+  Machine machine_;
+  JobRegistry jobs_;
+  DromRegistry drom_;
+  NodeManager mgr_;
+  RecordingExecutor executor_;
+  SdPolicyScheduler sched_;
+};
+
+TEST_F(SdPolicyTest, StaticPlacementPreferredWhenRoomExists) {
+  const JobId a = submit(96, 100, 100);
+  sched_.schedule_pass(0);
+  EXPECT_EQ(executor_.static_starts, (std::vector<JobId>{a}));
+  EXPECT_TRUE(executor_.guest_starts.empty());
+}
+
+TEST_F(SdPolicyTest, MalleableStartWhenWaitExceedsIncrease) {
+  // Machine saturated by two long 2-node jobs; a short 2-node malleable job
+  // would wait ~10000s statically but only pay ~60s of increase -> SD must
+  // co-schedule it on one mate of matching weight (Eq. 3).
+  const JobId a1 = submit(96, 10000, 10000);
+  const JobId a2 = submit(96, 10000, 10000);
+  sched_.schedule_pass(0);
+  ASSERT_EQ(executor_.static_starts, (std::vector<JobId>{a1, a2}));
+
+  const JobId b = submit(96, 60, 60, 10);
+  executor_.now = 10;
+  sched_.schedule_pass(10);
+  EXPECT_EQ(executor_.guest_starts, (std::vector<JobId>{b}));
+  EXPECT_EQ(sched_.malleable_starts(), 1u);
+  const Job& guest = jobs_.at(b);
+  EXPECT_TRUE(guest.started_as_guest);
+  ASSERT_EQ(guest.mates.size(), 1u);
+  EXPECT_EQ(guest.mates[0], a1);  // equal penalties: lowest id wins
+  // update_stats: mate's predicted end stretched by its increase.
+  EXPECT_GT(jobs_.at(a1).predicted_increase, 0);
+}
+
+TEST_F(SdPolicyTest, OversizedMatesAreIneligible) {
+  // Eq. 3 is an exact match: a 4-node mate cannot host a 2-node guest.
+  submit(192, 10000, 10000);
+  sched_.schedule_pass(0);
+  const JobId b = submit(96, 60, 60, 10);
+  executor_.now = 10;
+  sched_.schedule_pass(10);
+  EXPECT_TRUE(executor_.guest_starts.empty());
+  EXPECT_TRUE(sched_.queue().contains(b));
+}
+
+TEST_F(SdPolicyTest, RejectsWhenStaticWaitIsShort) {
+  // Blocking job ends soon: waiting is cheaper than doubling the runtime.
+  const JobId a = submit(192, 100, 100);
+  sched_.schedule_pass(0);
+  const JobId b = submit(96, 90, 90, 10);
+  executor_.now = 10;
+  sched_.schedule_pass(10);
+  EXPECT_TRUE(executor_.guest_starts.empty());
+  EXPECT_TRUE(sched_.queue().contains(b));
+  EXPECT_GT(sched_.estimate_rejections(), 0u);
+  (void)a;
+}
+
+TEST_F(SdPolicyTest, RigidJobsNeverGoMalleable) {
+  submit(96, 10000, 10000);
+  submit(96, 10000, 10000);
+  sched_.schedule_pass(0);
+  const JobId b = submit(96, 60, 60, 10, MalleabilityClass::Rigid);
+  executor_.now = 10;
+  sched_.schedule_pass(10);
+  EXPECT_TRUE(executor_.guest_starts.empty());
+  EXPECT_TRUE(sched_.queue().contains(b));
+}
+
+TEST_F(SdPolicyTest, MoldableJobsCanBeGuests) {
+  submit(96, 10000, 10000);
+  submit(96, 10000, 10000);
+  sched_.schedule_pass(0);
+  const JobId b = submit(96, 60, 60, 10, MalleabilityClass::Moldable);
+  executor_.now = 10;
+  sched_.schedule_pass(10);
+  EXPECT_EQ(executor_.guest_starts, (std::vector<JobId>{b}));
+}
+
+TEST_F(SdPolicyTest, GuestTooLongForMateAllocationStaysQueued) {
+  submit(96, 500, 500);
+  submit(96, 500, 500);
+  sched_.schedule_pass(0);
+  // Shrunk duration ~2x600 = 1200 > mate's remaining 490: selection fails.
+  const JobId b = submit(96, 600, 600, 10);
+  executor_.now = 10;
+  sched_.schedule_pass(10);
+  EXPECT_TRUE(executor_.guest_starts.empty());
+  EXPECT_TRUE(sched_.queue().contains(b));
+  EXPECT_GT(sched_.estimate_rejections() + sched_.selection_failures(), 0u);
+}
+
+TEST_F(SdPolicyTest, SecondGuestCannotStackOnSameMate) {
+  // Fill the machine with ONE eligible 2-node mate and one rigid filler so
+  // the second guest has nowhere to go.
+  const JobId mate = submit(96, 100000, 100000);
+  submit(96, 100000, 100000, 0, MalleabilityClass::Rigid);
+  sched_.schedule_pass(0);
+  const JobId b = submit(96, 60, 60, 10);
+  executor_.now = 10;
+  sched_.schedule_pass(10);
+  ASSERT_EQ(executor_.guest_starts, (std::vector<JobId>{b}));
+  EXPECT_EQ(jobs_.at(b).mates, (std::vector<JobId>{mate}));
+  // A second short job: the only eligible mate already hosts a guest
+  // (default max_jobs_per_node = 2), and the guest itself is ineligible.
+  const JobId c = submit(96, 60, 60, 20);
+  executor_.now = 20;
+  sched_.schedule_pass(20);
+  EXPECT_EQ(executor_.guest_starts.size(), 1u);
+  EXPECT_TRUE(sched_.queue().contains(c));
+}
+
+TEST_F(SdPolicyTest, MalleabilityTriedInPriorityOrder) {
+  // One eligible mate, two malleable candidates; the earlier-submitted one
+  // gets it.
+  submit(96, 100000, 100000);
+  submit(96, 100000, 100000, 0, MalleabilityClass::Rigid);
+  sched_.schedule_pass(0);
+  const JobId b = submit(96, 60, 60, 10);
+  const JobId c = submit(96, 60, 60, 11);
+  executor_.now = 11;
+  sched_.schedule_pass(11);
+  EXPECT_EQ(executor_.guest_starts, (std::vector<JobId>{b}));
+  EXPECT_TRUE(sched_.queue().contains(c));
+}
+
+TEST_F(SdPolicyTest, StaticCutoffBlocksHighPenaltyPlans) {
+  SdConfig strict;
+  strict.cutoff = CutoffConfig::max_sd(1.05);  // mates must be near-unharmed
+  SdPolicyScheduler tight(machine_, jobs_, executor_, SchedConfig{}, strict);
+  const JobId a = jobs_.add(spec_of(0, 100000, 100000, 96, 48));
+  tight.on_submit(a);
+  const JobId a2 = jobs_.add(spec_of(0, 100000, 100000, 96, 48));
+  tight.on_submit(a2);
+  tight.schedule_pass(0);
+  const JobId b = jobs_.add(spec_of(10, 5000, 5000, 96, 48));
+  tight.on_submit(b);
+  executor_.now = 10;
+  tight.schedule_pass(10);
+  // Penalty for the mate (increase 5000+ on a 100000 request) exceeds 1.05?
+  // increase/req = 0.05 -> penalty ~1.05+: blocked by the tight cut-off.
+  EXPECT_TRUE(executor_.guest_starts.empty());
+  EXPECT_TRUE(tight.queue().contains(b));
+}
+
+TEST_F(SdPolicyTest, NameAndConfigExposed) {
+  EXPECT_STREQ(sched_.name(), "sd-policy");
+  EXPECT_DOUBLE_EQ(sched_.sd_config().sharing_factor, 0.5);
+  EXPECT_EQ(sched_.sd_config().max_mates, 2);
+}
+
+TEST_F(SdPolicyTest, DynAvgSdIsConservativeOnLoneMate) {
+  // With a single running job, the dynamic cut-off equals that job's own
+  // current slowdown, and Eq. 2's penalty (which adds the increase) always
+  // exceeds it: DynAVGSD refuses — the §3.2.2 "spread the slowdown" rule.
+  SdConfig dynamic;
+  dynamic.cutoff = CutoffConfig::dynamic_avg();
+  SdPolicyScheduler dyn(machine_, jobs_, executor_, SchedConfig{}, dynamic);
+  const JobId a = jobs_.add(spec_of(0, 10000, 10000, 192, 48));
+  dyn.on_submit(a);
+  dyn.schedule_pass(0);
+  const JobId b = jobs_.add(spec_of(10, 60, 60, 96, 48));
+  dyn.on_submit(b);
+  executor_.now = 10;
+  dyn.schedule_pass(10);
+  EXPECT_TRUE(executor_.guest_starts.empty());
+  EXPECT_TRUE(dyn.queue().contains(b));
+}
+
+}  // namespace
+}  // namespace sdsched

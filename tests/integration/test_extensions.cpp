@@ -1,0 +1,277 @@
+// End-to-end tests for the paper's optional features and future-work
+// extensions: constraints/contiguity (§3.2.4), runtime prediction (§4.1 /
+// future work #2) and adaptive SharingFactor (§3.3 / future work #1).
+#include <gtest/gtest.h>
+
+#include "api/simulation.h"
+#include "workload/app_profiles.h"
+#include "workload/cirne.h"
+
+namespace sdsched {
+namespace {
+
+MachineConfig machine_of(int nodes) {
+  MachineConfig config;
+  config.nodes = nodes;
+  config.node = NodeConfig{2, 24};
+  return config;
+}
+
+JobSpec job_of(SimTime submit, SimTime runtime, SimTime req, int nodes_requested) {
+  JobSpec spec;
+  spec.submit = submit;
+  spec.base_runtime = runtime;
+  spec.req_time = req;
+  spec.req_cpus = nodes_requested * 48;
+  spec.malleability = MalleabilityClass::Malleable;
+  return spec;
+}
+
+TEST(Extensions, ConstrainedJobWaitsForItsNodes) {
+  // 4 nodes; nodes 2-3 are high-memory. A high-mem job must wait for node
+  // 2-3 even while 0-1 sit free.
+  MachineConfig machine = machine_of(4);
+  machine.attribute_overrides = {{2, NodeAttributes{"x86_64", 384, "opa"}},
+                                 {3, NodeAttributes{"x86_64", 384, "opa"}}};
+  Workload w;
+  JobSpec filler = job_of(0, 500, 500, 2);
+  w.add(filler);  // takes nodes 0-1? No: lowest free = 0,1
+  JobSpec highmem = job_of(10, 100, 100, 2);
+  highmem.constraints.min_memory_gb = 256;
+  w.add(highmem);
+
+  SimulationConfig config;
+  config.machine = machine;
+  config.policy = PolicyKind::Backfill;
+  SimulationReport report = Simulation(config, w).run();
+  ASSERT_EQ(report.records.size(), 2u);
+  // High-mem job starts immediately on nodes 2-3 (they are free).
+  EXPECT_EQ(report.records[0].id, 1u);
+  EXPECT_EQ(report.records[0].start, 10);
+}
+
+TEST(Extensions, ConstrainedJobBlockedByOccupiedClass) {
+  // Same machine, but the high-mem nodes are taken first: the constrained
+  // job waits despite free standard nodes.
+  MachineConfig machine = machine_of(4);
+  machine.attribute_overrides = {{0, NodeAttributes{"x86_64", 384, "opa"}},
+                                 {1, NodeAttributes{"x86_64", 384, "opa"}}};
+  Workload w;
+  w.add(job_of(0, 500, 500, 2));  // lands on nodes 0-1 (lowest free)
+  JobSpec highmem = job_of(10, 100, 100, 1);
+  highmem.constraints.min_memory_gb = 256;
+  highmem.malleability = MalleabilityClass::Rigid;
+  w.add(highmem);
+
+  SimulationConfig config;
+  config.machine = machine;
+  config.policy = PolicyKind::Backfill;
+  SimulationReport report = Simulation(config, w).run();
+  SimTime start_highmem = -1;
+  for (const auto& r : report.records) {
+    if (r.id == 1) start_highmem = r.start;
+  }
+  EXPECT_EQ(start_highmem, 500);  // waited for the high-mem class
+}
+
+TEST(Extensions, ImpossibleConstraintIsCancelled) {
+  MachineConfig machine = machine_of(2);
+  Workload w;
+  JobSpec impossible = job_of(0, 100, 100, 1);
+  impossible.constraints.required_arch = "sparc";
+  w.add(impossible);
+  w.add(job_of(5, 100, 100, 1));
+
+  SimulationConfig config;
+  config.machine = machine;
+  config.policy = PolicyKind::Backfill;
+  SimulationReport report = Simulation(config, w).run();
+  EXPECT_EQ(report.cancelled_jobs, 1u);
+  EXPECT_EQ(report.records.size(), 1u);  // the possible job still runs
+}
+
+TEST(Extensions, SdRespectsGuestConstraints) {
+  // Mate runs on standard nodes; a high-mem malleable job must NOT be
+  // co-scheduled onto them.
+  MachineConfig machine = machine_of(2);
+  Workload w;
+  w.add(job_of(0, 10000, 10000, 2));
+  JobSpec highmem = job_of(10, 100, 100, 2);
+  highmem.constraints.min_memory_gb = 256;
+  w.add(highmem);
+
+  SimulationConfig config;
+  config.machine = machine;
+  config.policy = PolicyKind::SdPolicy;
+  config.sd.cutoff = CutoffConfig::infinite();
+  SimulationReport report = Simulation(config, w).run();
+  EXPECT_EQ(report.malleable_starts, 0u);
+  EXPECT_EQ(report.cancelled_jobs, 1u);  // no high-mem nodes exist at all
+}
+
+TEST(Extensions, RuntimePredictionTightensBackfill) {
+  // Users overestimate 10x; with prediction, reservations shrink toward
+  // real durations, so average wait cannot get (much) worse and usually
+  // improves on a congested trace.
+  CirneConfig wl;
+  wl.n_jobs = 150;
+  wl.system_nodes = 8;
+  wl.cores_per_node = 48;
+  wl.max_job_nodes = 4;
+  wl.target_load = 1.4;
+  wl.seed = 42;
+  const Workload workload = generate_cirne(wl);
+
+  SimulationConfig plain;
+  plain.machine = machine_of(8);
+  plain.policy = PolicyKind::Backfill;
+  SimulationConfig predicted = plain;
+  predicted.use_runtime_prediction = true;
+
+  SimulationReport a = Simulation(plain, workload).run();
+  SimulationReport b = Simulation(predicted, workload).run();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_LE(b.summary.avg_wait, a.summary.avg_wait * 1.10);
+}
+
+TEST(Extensions, RuntimePredictionWorksUnderSd) {
+  CirneConfig wl;
+  wl.n_jobs = 120;
+  wl.system_nodes = 8;
+  wl.cores_per_node = 48;
+  wl.max_job_nodes = 4;
+  wl.target_load = 1.3;
+  wl.seed = 43;
+  const Workload workload = generate_cirne(wl);
+
+  SimulationConfig config;
+  config.machine = machine_of(8);
+  config.policy = PolicyKind::SdPolicy;
+  config.use_runtime_prediction = true;
+  SimulationReport report = Simulation(config, workload).run();
+  EXPECT_EQ(report.records.size(), workload.size());
+  for (const auto& record : report.records) {
+    EXPECT_GE(record.slowdown(), 0.99);
+  }
+}
+
+TEST(Extensions, AdaptiveSharingGivesComputeGuestsMoreCores) {
+  // STREAM mate + PILS guest: with adaptive sharing the guest's share
+  // exceeds the socket split, so it finishes sooner than under fixed 0.5.
+  Workload w;
+  JobSpec mate = job_of(0, 10000, 10000, 2);
+  mate.app_profile = profile_index("STREAM");
+  w.add(mate);
+  JobSpec guest = job_of(10, 100, 100, 2);
+  guest.app_profile = profile_index("PILS");
+  w.add(guest);
+
+  SimulationConfig fixed;
+  fixed.machine = machine_of(2);
+  fixed.policy = PolicyKind::SdPolicy;
+  fixed.sd.cutoff = CutoffConfig::infinite();
+  SimulationConfig adaptive = fixed;
+  adaptive.sd.adaptive_sharing = true;
+
+  SimulationReport rf = Simulation(fixed, w).run();
+  SimulationReport ra = Simulation(adaptive, w).run();
+  ASSERT_EQ(rf.malleable_starts, 1u);
+  ASSERT_EQ(ra.malleable_starts, 1u);
+  const SimTime fixed_end = rf.records[0].end;
+  const SimTime adaptive_end = ra.records[0].end;
+  EXPECT_LT(adaptive_end, fixed_end);
+}
+
+TEST(Extensions, ReconfigOverheadStretchesMates) {
+  // Mate (2 nodes, 10000s) hosts a guest for 200s of wallclock. With zero
+  // overhead the mate ends at 10100 (the lost half-rate progress). With a
+  // 50s stall per transition: the shrink stall costs 50s at rate 0.5
+  // (25 work) and the expand stall 50s at rate 1.0 (50 work), all repaid at
+  // full speed -> +75s.
+  Workload w;
+  w.add(job_of(0, 10000, 10000, 2));
+  w.add(job_of(10, 100, 100, 2));
+
+  SimulationConfig config;
+  config.machine = machine_of(2);
+  config.policy = PolicyKind::SdPolicy;
+  config.sd.cutoff = CutoffConfig::infinite();
+  config.execution_model = RuntimeModelKind::WorstCase;
+
+  SimulationReport zero = Simulation(config, w).run();
+  config.reconfig_overhead = 50;
+  SimulationReport costly = Simulation(config, w).run();
+
+  ASSERT_EQ(zero.malleable_starts, 1u);
+  ASSERT_EQ(costly.malleable_starts, 1u);
+  const SimTime mate_end_zero = zero.records[1].end;
+  const SimTime mate_end_costly = costly.records[1].end;
+  EXPECT_EQ(mate_end_zero, 10100);
+  EXPECT_EQ(mate_end_costly, 10100 + 75);
+}
+
+TEST(Extensions, ReconfigOverheadNeverAffectsStaticRuns) {
+  Workload w;
+  w.add(job_of(0, 500, 500, 2));
+  w.add(job_of(10, 100, 100, 1));
+  SimulationConfig config;
+  config.machine = machine_of(4);
+  config.policy = PolicyKind::Backfill;
+  config.reconfig_overhead = 300;
+  SimulationReport report = Simulation(config, w).run();
+  for (const auto& record : report.records) {
+    EXPECT_EQ(record.runtime(), record.base_runtime);
+  }
+}
+
+TEST(Extensions, FreeNodePlansReduceMateImpact) {
+  // 3-node machine: a 2-node mate runs, 1 node free. A 3-node guest can
+  // only start malleably when free-node plans are enabled (no mate
+  // combination sums to 3).
+  Workload w;
+  w.add(job_of(0, 10000, 10000, 2));
+  w.add(job_of(10, 100, 100, 3));
+
+  SimulationConfig without;
+  without.machine = machine_of(3);
+  without.policy = PolicyKind::SdPolicy;
+  without.sd.cutoff = CutoffConfig::infinite();
+  SimulationConfig with = without;
+  with.sd.include_free_nodes = true;
+
+  SimulationReport off = Simulation(without, w).run();
+  SimulationReport on = Simulation(with, w).run();
+  EXPECT_EQ(off.malleable_starts, 0u);
+  EXPECT_EQ(on.malleable_starts, 1u);
+  // The free-node share runs at full speed; only the mate-node share is
+  // halved, so the guest ends strictly earlier than a full-shrink start
+  // (which would double the runtime to 210) — under the ideal model.
+  SimulationConfig ideal = with;
+  ideal.execution_model = RuntimeModelKind::Ideal;
+  SimulationReport on_ideal = Simulation(ideal, w).run();
+  const JobRecord& guest = on_ideal.records[0];
+  ASSERT_TRUE(guest.was_guest);
+  EXPECT_LT(guest.end, 10 + 200);
+}
+
+TEST(Extensions, AdaptiveSharingNoopWithoutProfiles) {
+  Workload w;
+  w.add(job_of(0, 10000, 10000, 2));
+  w.add(job_of(10, 100, 100, 2));
+  SimulationConfig fixed;
+  fixed.machine = machine_of(2);
+  fixed.policy = PolicyKind::SdPolicy;
+  fixed.sd.cutoff = CutoffConfig::infinite();
+  SimulationConfig adaptive = fixed;
+  adaptive.sd.adaptive_sharing = true;
+
+  SimulationReport rf = Simulation(fixed, w).run();
+  SimulationReport ra = Simulation(adaptive, w).run();
+  ASSERT_EQ(rf.records.size(), ra.records.size());
+  for (std::size_t i = 0; i < rf.records.size(); ++i) {
+    EXPECT_EQ(rf.records[i].end, ra.records[i].end);
+  }
+}
+
+}  // namespace
+}  // namespace sdsched

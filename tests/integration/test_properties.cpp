@@ -1,0 +1,157 @@
+// Property-based suites: invariants that must hold for any workload, seed,
+// policy and runtime model. Parameterized over (seed, policy, model) to
+// sweep the space.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/simulation.h"
+#include "workload/cirne.h"
+
+namespace sdsched {
+namespace {
+
+MachineConfig machine_of(int nodes) {
+  MachineConfig config;
+  config.nodes = nodes;
+  config.node = NodeConfig{2, 24};
+  return config;
+}
+
+Workload random_workload(std::uint64_t seed, int jobs, int nodes) {
+  CirneConfig config;
+  config.n_jobs = jobs;
+  config.system_nodes = nodes;
+  config.cores_per_node = 48;
+  config.max_job_nodes = std::max(2, nodes / 2);
+  config.seed = seed;
+  config.target_load = 1.3;  // congested: plenty of SD opportunities
+  config.pct_malleable = 0.8;
+  return generate_cirne(config);
+}
+
+struct PropertyCase {
+  std::uint64_t seed;
+  PolicyKind policy;
+  RuntimeModelKind model;
+};
+
+class SimulationProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(SimulationProperties, ConservationAndSanity) {
+  const auto& param = GetParam();
+  const int nodes = 8;
+  Workload w = random_workload(param.seed, 120, nodes);
+
+  SimulationConfig config;
+  config.machine = machine_of(nodes);
+  config.policy = param.policy;
+  config.execution_model = param.model;
+  SimulationReport report = Simulation(config, w).run();
+
+  // P1: every prepared job completes exactly once.
+  std::set<JobId> ids;
+  for (const auto& record : report.records) {
+    EXPECT_TRUE(ids.insert(record.id).second);
+  }
+  EXPECT_EQ(report.records.size() + report.cancelled_jobs, w.size());
+
+  const double capacity = static_cast<double>(nodes) * 48.0;
+  double total_work = 0.0;
+  for (const auto& record : report.records) {
+    // P2: causality.
+    EXPECT_GE(record.start, record.submit);
+    EXPECT_GT(record.end, record.start);
+    // P3: slowdown >= 1 (a job can never beat its own static runtime by
+    // more than rounding).
+    EXPECT_GE(record.slowdown(), 0.99);
+    // P4: a job's real runtime is never shorter than its static runtime
+    // under the clamp-free models (it can only be stretched).
+    EXPECT_GE(record.runtime() + 1, record.base_runtime);
+    total_work += static_cast<double>(record.base_runtime) * record.req_cpus;
+  }
+  // P5: machine capacity is never exceeded over the makespan.
+  EXPECT_LE(total_work,
+            capacity * static_cast<double>(report.summary.makespan) + 1e-6);
+  // P6: utilization is a fraction.
+  EXPECT_GE(report.summary.utilization, 0.0);
+  EXPECT_LE(report.summary.utilization, 1.0 + 1e-9);
+  // P7: only SD produces guests.
+  if (param.policy != PolicyKind::SdPolicy) {
+    EXPECT_EQ(report.summary.guests, 0u);
+    EXPECT_EQ(report.summary.mates, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimulationProperties,
+    ::testing::Values(
+        PropertyCase{11, PolicyKind::Fcfs, RuntimeModelKind::Ideal},
+        PropertyCase{11, PolicyKind::Backfill, RuntimeModelKind::Ideal},
+        PropertyCase{11, PolicyKind::SdPolicy, RuntimeModelKind::Ideal},
+        PropertyCase{11, PolicyKind::SdPolicy, RuntimeModelKind::WorstCase},
+        PropertyCase{23, PolicyKind::Backfill, RuntimeModelKind::WorstCase},
+        PropertyCase{23, PolicyKind::SdPolicy, RuntimeModelKind::Ideal},
+        PropertyCase{37, PolicyKind::SdPolicy, RuntimeModelKind::WorstCase},
+        PropertyCase{59, PolicyKind::SdPolicy, RuntimeModelKind::Ideal}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      std::string name = "seed" + std::to_string(info.param.seed) + "_" +
+                         to_string(info.param.policy) +
+                         (info.param.model == RuntimeModelKind::Ideal ? "_ideal" : "_worst");
+      // gtest parameter names must be alphanumeric.
+      std::erase_if(name, [](char c) { return c == '-'; });
+      return name;
+    });
+
+class SdComparisonProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SdComparisonProperties, SdNeverLosesBadlyOnCongestedWorkloads) {
+  const int nodes = 8;
+  Workload w = random_workload(GetParam(), 150, nodes);
+
+  SimulationConfig base;
+  base.machine = machine_of(nodes);
+  base.policy = PolicyKind::Backfill;
+  SimulationConfig sd = base;
+  sd.policy = PolicyKind::SdPolicy;
+
+  SimulationReport rb = Simulation(base, w).run();
+  SimulationReport rs = Simulation(sd, w).run();
+
+  // The decision rule only fires when the estimate improves the new job's
+  // slowdown; on congested traces the aggregate should not regress much
+  // (allow 10% noise) and usually improves substantially.
+  EXPECT_LE(rs.summary.avg_slowdown, rb.summary.avg_slowdown * 1.10);
+  // Makespan stays in the same ballpark (paper: "keeping makespan constant").
+  EXPECT_LE(static_cast<double>(rs.summary.makespan),
+            static_cast<double>(rb.summary.makespan) * 1.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdComparisonProperties,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+class WorstVsIdealProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorstVsIdealProperties, WorstCaseModelNeverBeatsIdeal) {
+  // Fig. 8's premise: the worst-case execution model can only slow jobs
+  // down relative to ideal, for the same SD schedule decisions.
+  const int nodes = 8;
+  Workload w = random_workload(GetParam(), 120, nodes);
+  SimulationConfig ideal;
+  ideal.machine = machine_of(nodes);
+  ideal.policy = PolicyKind::SdPolicy;
+  ideal.execution_model = RuntimeModelKind::Ideal;
+  SimulationConfig worst = ideal;
+  worst.execution_model = RuntimeModelKind::WorstCase;
+
+  SimulationReport ri = Simulation(ideal, w).run();
+  SimulationReport rw = Simulation(worst, w).run();
+  // Schedules diverge once durations differ, so compare aggregates with a
+  // small tolerance rather than per-job.
+  EXPECT_GE(rw.summary.avg_response, ri.summary.avg_response * 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorstVsIdealProperties, ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,287 @@
+// Reference-model property tests: the optimized implementations are checked
+// against brute-force oracles under randomized inputs.
+//
+//  * ReservationProfile vs a naive per-second availability array;
+//  * MateSelector's branch-and-bound vs exhaustive combination search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "core/mate_selector.h"
+#include "drom/node_manager.h"
+#include "sched/reservation.h"
+#include "util/rng.h"
+
+namespace sdsched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ReservationProfile oracle
+// ---------------------------------------------------------------------------
+
+/// Naive availability model over a bounded horizon.
+class NaiveProfile {
+ public:
+  NaiveProfile(int capacity, SimTime horizon)
+      : capacity_(capacity), free_(static_cast<std::size_t>(horizon), capacity) {}
+
+  void reserve(SimTime start, SimTime end, int nodes) {
+    for (SimTime t = start; t < std::min<SimTime>(end, horizon()); ++t) free_[t] -= nodes;
+  }
+  void release(SimTime start, SimTime end, int nodes) {
+    for (SimTime t = start; t < std::min<SimTime>(end, horizon()); ++t) free_[t] += nodes;
+  }
+  [[nodiscard]] int available_at(SimTime t) const {
+    return t < horizon() ? free_[t] : capacity_;
+  }
+  [[nodiscard]] SimTime earliest_start(int nodes, SimTime duration, SimTime not_before) const {
+    for (SimTime start = not_before; start < horizon(); ++start) {
+      bool ok = true;
+      for (SimTime t = start; t < start + duration && ok; ++t) {
+        if (available_at(t) < nodes) ok = false;
+      }
+      if (ok) return start;
+    }
+    return horizon();
+  }
+
+ private:
+  [[nodiscard]] SimTime horizon() const { return static_cast<SimTime>(free_.size()); }
+  int capacity_;
+  std::vector<int> free_;
+};
+
+class ReservationOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReservationOracle, MatchesNaiveModelUnderRandomOps) {
+  constexpr int kCapacity = 12;
+  constexpr SimTime kHorizon = 600;
+  Rng rng(GetParam());
+  ReservationProfile profile(kCapacity);
+  NaiveProfile naive(kCapacity, kHorizon);
+
+  // Random reservations that never drive availability negative: emulate the
+  // real usage pattern (reserve within what earliest_start reported free).
+  for (int op = 0; op < 60; ++op) {
+    const int nodes = static_cast<int>(rng.uniform_int(1, 4));
+    const auto duration = static_cast<SimTime>(rng.uniform_int(5, 60));
+    const auto not_before = static_cast<SimTime>(rng.uniform_int(0, 200));
+    const SimTime start = profile.earliest_start(nodes, duration, not_before);
+    ASSERT_NE(start, ReservationProfile::kNever);
+    ASSERT_EQ(start, naive.earliest_start(nodes, duration, not_before))
+        << "op " << op << " nodes " << nodes << " dur " << duration << " nb " << not_before;
+    if (start + duration < kHorizon) {
+      profile.reserve(start, start + duration, nodes);
+      naive.reserve(start, start + duration, nodes);
+    }
+  }
+
+  // Spot-check availability pointwise.
+  for (SimTime t = 0; t < 300; t += 7) {
+    ASSERT_EQ(profile.available_at(t), naive.available_at(t)) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReservationOracle,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// MateSelector oracle
+// ---------------------------------------------------------------------------
+
+struct SelectorWorld {
+  explicit SelectorWorld(int nodes)
+      : machine(make_machine(nodes)), mgr(machine, jobs, drom) {}
+
+  static MachineConfig make_machine(int nodes) {
+    MachineConfig config;
+    config.nodes = nodes;
+    config.node = NodeConfig{2, 24};
+    return config;
+  }
+
+  JobId run_job(int node_count, SimTime submit, SimTime start, SimTime req) {
+    JobSpec spec;
+    spec.submit = submit;
+    spec.req_time = req;
+    spec.base_runtime = req;
+    spec.req_cpus = node_count * 48;
+    spec.req_nodes = node_count;
+    const JobId id = jobs.add(spec);
+    Job& job = jobs.at(id);
+    job.state = JobState::Running;
+    job.start_time = start;
+    job.predicted_end = start + req;
+    mgr.start_static(start, id, *machine.find_free_nodes(node_count));
+    return id;
+  }
+
+  Machine machine;
+  JobRegistry jobs;
+  DromRegistry drom;
+  NodeManager mgr;
+};
+
+/// Exhaustive minimum-PI search (m <= 2) with the same penalty math: mate
+/// penalty = (wait + (1-sf)*D + req)/req where D = req_guest / sf, for
+/// full-node uniform mates (the world this test constructs).
+double brute_force_best_pi(const SelectorWorld& world, const Job& guest, SimTime now,
+                           double sharing_factor) {
+  const auto d = static_cast<double>(guest.spec.req_time) / sharing_factor;
+  const SimTime mall_end = now + static_cast<SimTime>(std::ceil(d));
+  std::vector<const Job*> mates;
+  for (const auto& job : world.jobs) {
+    if (job.running() && !job.started_as_guest && job.guests.empty() &&
+        job.spec.req_nodes <= guest.spec.req_nodes && job.predicted_end >= mall_end) {
+      mates.push_back(&job);
+    }
+  }
+  const auto penalty = [&](const Job& mate) {
+    const auto req = static_cast<double>(mate.spec.req_time);
+    const double increase = (1.0 - sharing_factor) * d;
+    return (static_cast<double>(mate.wait_time(now)) + std::ceil(increase) + req) / req;
+  };
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < mates.size(); ++i) {
+    if (mates[i]->spec.req_nodes == guest.spec.req_nodes) {
+      best = std::min(best, penalty(*mates[i]));
+    }
+    for (std::size_t j = i + 1; j < mates.size(); ++j) {
+      if (mates[i]->spec.req_nodes + mates[j]->spec.req_nodes == guest.spec.req_nodes) {
+        best = std::min(best, penalty(*mates[i]) + penalty(*mates[j]));
+      }
+    }
+  }
+  return best;
+}
+
+class SelectorOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectorOracle, BranchAndBoundMatchesBruteForce) {
+  Rng rng(GetParam());
+  SelectorWorld world(24);
+
+  // Random running population: 6-10 jobs of 1-3 nodes with varied waits.
+  const int population = static_cast<int>(rng.uniform_int(6, 10));
+  for (int i = 0; i < population; ++i) {
+    const int nodes = static_cast<int>(rng.uniform_int(1, 3));
+    const auto submit = static_cast<SimTime>(rng.uniform_int(0, 500));
+    const auto start = submit + static_cast<SimTime>(rng.uniform_int(0, 2000));
+    const auto req = static_cast<SimTime>(rng.uniform_int(50000, 200000));
+    if (world.machine.free_node_count() >= nodes) {
+      world.run_job(nodes, submit, start, req);
+    }
+  }
+
+  JobSpec guest_spec;
+  guest_spec.req_nodes = static_cast<int>(rng.uniform_int(1, 4));
+  guest_spec.req_cpus = guest_spec.req_nodes * 48;
+  guest_spec.req_time = static_cast<SimTime>(rng.uniform_int(100, 2000));
+  guest_spec.base_runtime = guest_spec.req_time;
+  guest_spec.submit = 2600;
+  const JobId guest_id = world.jobs.add(guest_spec);
+  const Job& guest = world.jobs.at(guest_id);
+
+  SdConfig sd;
+  sd.cutoff = CutoffConfig::infinite();
+  MateSelector selector(world.machine, world.jobs, sd);
+  const SimTime now = 2600;
+  const auto plan =
+      selector.select(guest, now, std::numeric_limits<double>::infinity());
+  const double brute = brute_force_best_pi(world, guest, now, sd.sharing_factor);
+
+  if (std::isinf(brute)) {
+    EXPECT_FALSE(plan.has_value());
+  } else {
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_NEAR(plan->performance_impact, brute, brute * 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorOracle,
+                         ::testing::Values(3, 7, 11, 19, 23, 31, 43, 59, 71, 97));
+
+// ---------------------------------------------------------------------------
+// NodeManager conservation under random churn
+// ---------------------------------------------------------------------------
+
+TEST(NodeManagerChurn, NoCoreLeaksAcrossRandomStartsAndFinishes) {
+  Rng rng(1234);
+  SelectorWorld world(16);
+  SdConfig sd;
+  sd.cutoff = CutoffConfig::infinite();
+  MateSelector selector(world.machine, world.jobs, sd);
+
+  std::vector<JobId> running;
+  SimTime now = 0;
+  for (int step = 0; step < 200; ++step) {
+    now += rng.uniform_int(1, 100);
+    const int action = static_cast<int>(rng.uniform_int(0, 2));
+    if (action <= 1) {
+      // Try to start a job: statically if room, else as a guest.
+      const int nodes = static_cast<int>(rng.uniform_int(1, 3));
+      if (world.machine.free_node_count() >= nodes) {
+        running.push_back(world.run_job(nodes, now, now, rng.uniform_int(5000, 50000)));
+      } else {
+        JobSpec spec;
+        spec.req_nodes = nodes;
+        spec.req_cpus = nodes * 48;
+        spec.req_time = rng.uniform_int(100, 1000);
+        spec.base_runtime = spec.req_time;
+        spec.submit = now;
+        const JobId id = world.jobs.add(spec);
+        const auto plan = selector.select(world.jobs.at(id), now,
+                                          std::numeric_limits<double>::infinity());
+        if (plan) {
+          Job& guest = world.jobs.at(id);
+          guest.state = JobState::Running;
+          guest.start_time = now;
+          guest.predicted_end = now + plan->guest_duration;
+          for (std::size_t i = 0; i < plan->mates.size(); ++i) {
+            Job& mate = world.jobs.at(plan->mates[i]);
+            mate.predicted_end += plan->mate_increases[i];
+          }
+          world.mgr.start_guest(now, id, plan->nodes);
+          running.push_back(id);
+        }
+      }
+    } else if (!running.empty()) {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(running.size()) - 1));
+      const JobId id = running[victim];
+      running.erase(running.begin() + victim);
+      world.jobs.at(id).state = JobState::Completed;
+      world.jobs.at(id).end_time = now;
+      world.mgr.finish_job(now, id);
+    }
+
+    // Invariants after every step.
+    int share_total = 0;
+    for (const auto& job : world.jobs) {
+      for (const auto& share : job.shares) {
+        ASSERT_GE(share.cpus, 1);
+        const auto occ = world.machine.node(share.node).occupant(job.spec.id);
+        ASSERT_TRUE(occ.has_value()) << "job/machine share mismatch";
+        ASSERT_EQ(occ->cpus, share.cpus);
+        share_total += share.cpus;
+      }
+    }
+    ASSERT_EQ(share_total, world.machine.busy_cores());
+    for (int n = 0; n < world.machine.node_count(); ++n) {
+      ASSERT_LE(world.machine.node(n).used_cores(), world.machine.node(n).total_cores());
+    }
+  }
+
+  // Drain everything; the machine must come back empty.
+  for (const JobId id : running) {
+    world.jobs.at(id).state = JobState::Completed;
+    world.mgr.finish_job(now + 1, id);
+  }
+  EXPECT_EQ(world.machine.busy_cores(), 0);
+  EXPECT_EQ(world.machine.free_node_count(), 16);
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,59 @@
+#include "job/wait_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace sdsched {
+namespace {
+
+TEST(WaitQueue, FcfsOrder) {
+  WaitQueue queue;
+  queue.push(1, 100);
+  queue.push(2, 200);
+  queue.push(3, 150);
+  EXPECT_EQ(queue.ordered_ids(), (std::vector<JobId>{1, 3, 2}));
+  EXPECT_EQ(queue.front(), 1u);
+}
+
+TEST(WaitQueue, TiesBreakById) {
+  WaitQueue queue;
+  queue.push(5, 100);
+  queue.push(2, 100);
+  queue.push(9, 100);
+  EXPECT_EQ(queue.ordered_ids(), (std::vector<JobId>{2, 5, 9}));
+}
+
+TEST(WaitQueue, RemoveMiddle) {
+  WaitQueue queue;
+  queue.push(1, 1);
+  queue.push(2, 2);
+  queue.push(3, 3);
+  EXPECT_TRUE(queue.remove(2));
+  EXPECT_FALSE(queue.remove(2));
+  EXPECT_EQ(queue.ordered_ids(), (std::vector<JobId>{1, 3}));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(WaitQueue, ContainsAndEmpty) {
+  WaitQueue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.push(7, 10);
+  EXPECT_TRUE(queue.contains(7));
+  EXPECT_FALSE(queue.contains(8));
+  EXPECT_FALSE(queue.empty());
+  queue.remove(7);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(WaitQueue, InOrderPushIsCommonCase) {
+  WaitQueue queue;
+  for (JobId id = 0; id < 100; ++id) {
+    queue.push(id, static_cast<SimTime>(id * 10));
+  }
+  const auto ids = queue.ordered_ids();
+  for (JobId id = 0; id < 100; ++id) {
+    EXPECT_EQ(ids[id], id);
+  }
+}
+
+}  // namespace
+}  // namespace sdsched

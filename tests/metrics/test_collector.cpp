@@ -1,0 +1,87 @@
+#include "metrics/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace sdsched {
+namespace {
+
+Job completed_job(JobId id, SimTime submit, SimTime start, SimTime end, SimTime runtime,
+                  bool guest = false, bool mate = false) {
+  Job job;
+  job.spec.id = id;
+  job.spec.submit = submit;
+  job.spec.base_runtime = runtime;
+  job.spec.req_time = runtime;
+  job.spec.req_cpus = 48;
+  job.spec.req_nodes = 1;
+  job.state = JobState::Completed;
+  job.start_time = start;
+  job.end_time = end;
+  job.started_as_guest = guest;
+  job.ever_mate = mate;
+  return job;
+}
+
+TEST(Collector, RecordCapturesJobFields) {
+  MetricsCollector collector;
+  collector.on_complete(completed_job(3, 10, 50, 150, 100));
+  ASSERT_EQ(collector.records().size(), 1u);
+  const JobRecord& record = collector.records().front();
+  EXPECT_EQ(record.id, 3u);
+  EXPECT_EQ(record.wait(), 40);
+  EXPECT_EQ(record.response(), 140);
+  EXPECT_EQ(record.runtime(), 100);
+  EXPECT_DOUBLE_EQ(record.slowdown(), 1.4);
+}
+
+TEST(Collector, BoundedSlowdownThreshold) {
+  JobRecord record;
+  record.submit = 0;
+  record.start = 90;
+  record.end = 100;
+  record.base_runtime = 2;  // 2s job waited 90s: raw slowdown 50
+  EXPECT_DOUBLE_EQ(record.slowdown(), 50.0);
+  // Bounded with 10s floor: 100/10 = 10.
+  EXPECT_DOUBLE_EQ(record.bounded_slowdown(), 10.0);
+}
+
+TEST(Collector, SummaryAggregates) {
+  MetricsCollector collector;
+  collector.on_complete(completed_job(0, 0, 0, 100, 100));            // sld 1
+  collector.on_complete(completed_job(1, 0, 100, 200, 100, true));    // sld 2
+  collector.on_complete(completed_job(2, 50, 250, 350, 100, false, true));  // sld 3
+  const MetricsSummary summary = collector.summarize(96, 3 * 100.0 * 48, 12.5);
+
+  EXPECT_EQ(summary.jobs, 3u);
+  EXPECT_EQ(summary.first_submit, 0);
+  EXPECT_EQ(summary.last_end, 350);
+  EXPECT_EQ(summary.makespan, 350);
+  EXPECT_DOUBLE_EQ(summary.avg_slowdown, 2.0);
+  EXPECT_DOUBLE_EQ(summary.avg_response, (100.0 + 200.0 + 300.0) / 3.0);
+  EXPECT_DOUBLE_EQ(summary.avg_wait, (0.0 + 100.0 + 200.0) / 3.0);
+  EXPECT_EQ(summary.guests, 1u);
+  EXPECT_EQ(summary.mates, 1u);
+  EXPECT_DOUBLE_EQ(summary.energy_kwh, 12.5);
+  EXPECT_DOUBLE_EQ(summary.utilization, (3 * 100.0 * 48) / (96.0 * 350.0));
+}
+
+TEST(Collector, EmptySummaryIsZero) {
+  MetricsCollector collector;
+  const MetricsSummary summary = collector.summarize(0, 0, 0);
+  EXPECT_EQ(summary.jobs, 0u);
+  EXPECT_EQ(summary.makespan, 0);
+  EXPECT_DOUBLE_EQ(summary.avg_slowdown, 0.0);
+}
+
+TEST(Collector, MakespanFromFirstSubmitToLastEnd) {
+  MetricsCollector collector;
+  collector.on_complete(completed_job(0, 500, 600, 700, 100));
+  collector.on_complete(completed_job(1, 100, 900, 1000, 100));
+  const MetricsSummary summary = collector.summarize(0, 0, 0);
+  EXPECT_EQ(summary.first_submit, 100);
+  EXPECT_EQ(summary.last_end, 1000);
+  EXPECT_EQ(summary.makespan, 900);
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,85 @@
+#include "metrics/heatmap.h"
+
+#include <gtest/gtest.h>
+
+#include "util/time_utils.h"
+
+namespace sdsched {
+namespace {
+
+JobRecord record_of(int nodes, SimTime runtime, SimTime wait = 0) {
+  JobRecord record;
+  record.req_nodes = nodes;
+  record.base_runtime = runtime;
+  record.submit = 0;
+  record.start = wait;
+  record.end = wait + runtime;
+  return record;
+}
+
+TEST(Heatmap, DefaultGridShape) {
+  const CategoryHeatmap heatmap;
+  EXPECT_EQ(heatmap.rows(), 7u);
+  EXPECT_EQ(heatmap.cols(), 7u);
+}
+
+TEST(Heatmap, BucketsByNodesAndRuntime) {
+  CategoryHeatmap heatmap;
+  heatmap.add(record_of(1, kMinute), 10.0);
+  heatmap.add(record_of(1, kMinute), 20.0);
+  heatmap.add(record_of(512, 18 * kHour), 5.0);
+  EXPECT_DOUBLE_EQ(heatmap.mean(0, 0), 15.0);
+  EXPECT_EQ(heatmap.count(0, 0), 2u);
+  // 512 nodes -> row 5 (257-1024); 18h -> col 5 (<=1d).
+  EXPECT_DOUBLE_EQ(heatmap.mean(5, 5), 5.0);
+}
+
+TEST(Heatmap, EmptyCellMeanIsZero) {
+  const CategoryHeatmap heatmap;
+  EXPECT_DOUBLE_EQ(heatmap.mean(3, 3), 0.0);
+  EXPECT_EQ(heatmap.count(3, 3), 0u);
+}
+
+TEST(Heatmap, FillWithExtractor) {
+  CategoryHeatmap heatmap;
+  std::vector<JobRecord> records{record_of(2, kHour, 100), record_of(3, kHour, 300)};
+  heatmap.fill(records, [](const JobRecord& r) { return static_cast<double>(r.wait()); });
+  EXPECT_DOUBLE_EQ(heatmap.mean(1, 2), 200.0);  // both land in 2-4 nodes, <=2h
+}
+
+TEST(Heatmap, RatioDividesCellwise) {
+  CategoryHeatmap sd;
+  CategoryHeatmap baseline;
+  baseline.add(record_of(1, kMinute), 100.0);
+  sd.add(record_of(1, kMinute), 20.0);
+  const auto grid = baseline.ratio(sd);
+  EXPECT_DOUBLE_EQ(grid[0][0], 5.0);  // static/SD = 5x improvement
+}
+
+TEST(Heatmap, RatioOfEmptyCellsIsZero) {
+  CategoryHeatmap a;
+  CategoryHeatmap b;
+  a.add(record_of(1, kMinute), 10.0);
+  const auto grid = a.ratio(b);
+  EXPECT_DOUBLE_EQ(grid[0][0], 0.0);  // other side empty
+  EXPECT_DOUBLE_EQ(grid[2][2], 0.0);  // both empty
+}
+
+TEST(Heatmap, LabelsAreHuman) {
+  const CategoryHeatmap heatmap;
+  EXPECT_EQ(heatmap.row_label(0), "1 node");
+  EXPECT_EQ(heatmap.row_label(1), "2-4 nodes");
+  EXPECT_EQ(heatmap.row_label(6), "> 1024 nodes");
+  EXPECT_EQ(heatmap.col_label(0), "<= 5m 00s");
+}
+
+TEST(Heatmap, RenderContainsCells) {
+  CategoryHeatmap heatmap;
+  heatmap.add(record_of(1, kMinute), 42.0);
+  const std::string out = heatmap.render();
+  EXPECT_NE(out.find("42.00"), std::string::npos);
+  EXPECT_NE(out.find("1 node"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdsched

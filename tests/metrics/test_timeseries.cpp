@@ -1,0 +1,85 @@
+#include "metrics/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "util/time_utils.h"
+
+namespace sdsched {
+namespace {
+
+JobRecord record_of(SimTime submit, SimTime start, SimTime end, SimTime runtime,
+                    bool guest = false) {
+  JobRecord record;
+  record.submit = submit;
+  record.start = start;
+  record.end = end;
+  record.base_runtime = runtime;
+  record.was_guest = guest;
+  return record;
+}
+
+TEST(DailySeries, EmptyRecords) {
+  const DailySeries series = DailySeries::from_records({});
+  EXPECT_EQ(series.days(), 0u);
+}
+
+TEST(DailySeries, GroupsByEndDay) {
+  std::vector<JobRecord> records{
+      record_of(0, 0, kHour, kHour),                    // day 0, sld 1
+      record_of(0, kHour, 3 * kHour, kHour),            // day 0, sld 3
+      record_of(0, kDay, kDay + kHour, kHour),          // day 1, sld 25
+  };
+  const DailySeries series = DailySeries::from_records(records);
+  ASSERT_EQ(series.days(), 2u);
+  EXPECT_DOUBLE_EQ(series.points()[0].avg_slowdown, 2.0);
+  EXPECT_EQ(series.points()[0].jobs_completed, 2u);
+  EXPECT_DOUBLE_EQ(series.points()[1].avg_slowdown, 25.0);
+}
+
+TEST(DailySeries, MalleableCountsByStartDay) {
+  std::vector<JobRecord> records{
+      record_of(0, kDay / 2, 2 * kDay, kDay, true),   // guest starts day 0, ends day 2
+      record_of(0, kDay + 1, 2 * kDay, kDay, true),   // guest starts day 1
+      record_of(0, 0, kHour, kHour, false),
+  };
+  const DailySeries series = DailySeries::from_records(records);
+  ASSERT_EQ(series.days(), 3u);
+  EXPECT_EQ(series.points()[0].malleable_scheduled, 1u);
+  EXPECT_EQ(series.points()[1].malleable_scheduled, 1u);
+  EXPECT_EQ(series.points()[2].malleable_scheduled, 0u);
+}
+
+TEST(DailySeries, OriginIsFirstSubmit) {
+  // All activity shifted by 10 days: the series still starts at day 0.
+  const SimTime off = 10 * kDay;
+  std::vector<JobRecord> records{record_of(off, off, off + kHour, kHour)};
+  const DailySeries series = DailySeries::from_records(records);
+  EXPECT_EQ(series.days(), 1u);
+  EXPECT_EQ(series.points()[0].jobs_completed, 1u);
+}
+
+TEST(DailySeries, RenderIncludesBaseline) {
+  std::vector<JobRecord> a{record_of(0, 0, kHour, kHour)};
+  std::vector<JobRecord> b{record_of(0, kHour, 2 * kHour, kHour)};
+  const DailySeries sd = DailySeries::from_records(a);
+  const DailySeries base = DailySeries::from_records(b);
+  const std::string out = sd.render(&base);
+  EXPECT_NE(out.find("baseline_avg_slowdown"), std::string::npos);
+  EXPECT_NE(out.find("malleable_scheduled"), std::string::npos);
+}
+
+TEST(DailySeries, IdleDaysAreZeroFilled) {
+  std::vector<JobRecord> records{
+      record_of(0, 0, kHour, kHour),
+      record_of(0, 5 * kDay, 5 * kDay + kHour, kHour),
+  };
+  const DailySeries series = DailySeries::from_records(records);
+  ASSERT_EQ(series.days(), 6u);
+  for (std::size_t d = 1; d <= 4; ++d) {
+    EXPECT_EQ(series.points()[d].jobs_completed, 0u);
+    EXPECT_DOUBLE_EQ(series.points()[d].avg_slowdown, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sdsched

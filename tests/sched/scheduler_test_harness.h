@@ -1,0 +1,74 @@
+// Shared harness for scheduler unit tests: a Machine + JobRegistry +
+// NodeManager and a StartExecutor that applies starts the way the
+// Simulation kernel would, minus event handling.
+#pragma once
+
+#include <vector>
+
+#include "drom/node_manager.h"
+#include "sched/scheduler.h"
+
+namespace sdsched::testing_support {
+
+class RecordingExecutor final : public StartExecutor {
+ public:
+  RecordingExecutor(Machine& machine, JobRegistry& jobs, NodeManager& mgr) noexcept
+      : machine_(machine), jobs_(jobs), mgr_(mgr) {}
+
+  SimTime now = 0;
+  std::vector<JobId> static_starts;
+  std::vector<JobId> guest_starts;
+
+  void start_static(JobId id, const std::vector<int>& nodes) override {
+    Job& job = jobs_.at(id);
+    job.state = JobState::Running;
+    job.start_time = now;
+    job.predicted_end = now + job.spec.req_time;
+    mgr_.start_static(now, id, nodes);
+    static_starts.push_back(id);
+  }
+
+  void start_guest(JobId id, const MatePlan& plan) override {
+    Job& job = jobs_.at(id);
+    job.state = JobState::Running;
+    job.start_time = now;
+    job.predicted_increase = plan.guest_increase;
+    job.predicted_end = now + job.spec.req_time + plan.guest_increase;
+    for (std::size_t i = 0; i < plan.mates.size(); ++i) {
+      Job& mate = jobs_.at(plan.mates[i]);
+      mate.predicted_increase += plan.mate_increases[i];
+      mate.predicted_end += plan.mate_increases[i];
+    }
+    mgr_.start_guest(now, id, plan.nodes);
+    guest_starts.push_back(id);
+  }
+
+ private:
+  Machine& machine_;
+  JobRegistry& jobs_;
+  NodeManager& mgr_;
+};
+
+/// Complete a running job: release resources and expand survivors.
+inline void finish(JobRegistry& jobs, NodeManager& mgr, JobId id, SimTime now) {
+  Job& job = jobs.at(id);
+  job.state = JobState::Completed;
+  job.end_time = now;
+  mgr.finish_job(now, id);
+}
+
+/// Minimal malleable job spec.
+inline JobSpec spec_of(SimTime submit, SimTime runtime, SimTime req_time, int cpus,
+                       int cores_per_node,
+                       MalleabilityClass cls = MalleabilityClass::Malleable) {
+  JobSpec spec;
+  spec.submit = submit;
+  spec.base_runtime = runtime;
+  spec.req_time = req_time;
+  spec.req_cpus = cpus;
+  spec.req_nodes = nodes_for(cpus, cores_per_node);
+  spec.malleability = cls;
+  return spec;
+}
+
+}  // namespace sdsched::testing_support

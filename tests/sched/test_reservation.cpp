@@ -1,0 +1,105 @@
+#include "sched/reservation.h"
+
+#include <gtest/gtest.h>
+
+namespace sdsched {
+namespace {
+
+TEST(Reservation, EmptyProfileIsAllFree) {
+  const ReservationProfile profile(8);
+  EXPECT_EQ(profile.available_at(0), 8);
+  EXPECT_EQ(profile.available_at(1000), 8);
+  EXPECT_EQ(profile.earliest_start(8, 100, 0), 0);
+}
+
+TEST(Reservation, RequestBeyondCapacityNever) {
+  const ReservationProfile profile(4);
+  EXPECT_EQ(profile.earliest_start(5, 10, 0), ReservationProfile::kNever);
+}
+
+TEST(Reservation, ReserveCarvesAvailability) {
+  ReservationProfile profile(8);
+  profile.reserve(10, 20, 3);
+  EXPECT_EQ(profile.available_at(9), 8);
+  EXPECT_EQ(profile.available_at(10), 5);
+  EXPECT_EQ(profile.available_at(19), 5);
+  EXPECT_EQ(profile.available_at(20), 8);
+}
+
+TEST(Reservation, EarliestStartWaitsForRelease) {
+  ReservationProfile profile(8);
+  profile.reserve(0, 100, 8);  // machine fully busy until t=100
+  EXPECT_EQ(profile.earliest_start(1, 10, 0), 100);
+  EXPECT_EQ(profile.earliest_start(8, 10, 0), 100);
+}
+
+TEST(Reservation, PartialAvailabilityAllowsSmallJobs) {
+  ReservationProfile profile(8);
+  profile.reserve(0, 100, 6);
+  EXPECT_EQ(profile.earliest_start(2, 50, 0), 0);
+  EXPECT_EQ(profile.earliest_start(3, 50, 0), 100);
+}
+
+TEST(Reservation, WindowMustStayFeasible) {
+  // 4 nodes free now, but a reservation at t=30 dips below the request:
+  // a 50s window cannot start before the dip clears.
+  ReservationProfile profile(8);
+  profile.reserve(30, 60, 6);
+  EXPECT_EQ(profile.earliest_start(4, 50, 0), 60);
+  // A shorter job fits before the dip.
+  EXPECT_EQ(profile.earliest_start(4, 30, 0), 0);
+}
+
+TEST(Reservation, NotBeforeRespected) {
+  ReservationProfile profile(8);
+  EXPECT_EQ(profile.earliest_start(2, 10, 500), 500);
+}
+
+TEST(Reservation, BackToBackReservations) {
+  ReservationProfile profile(4);
+  profile.reserve(0, 10, 4);
+  profile.reserve(10, 20, 4);
+  EXPECT_EQ(profile.earliest_start(1, 5, 0), 20);
+}
+
+TEST(Reservation, ReleaseExtendsAvailability) {
+  ReservationProfile profile(4);
+  profile.reserve(0, 100, 4);
+  profile.release(50, 100, 2);  // two nodes free earlier than predicted
+  EXPECT_EQ(profile.available_at(49), 0);
+  EXPECT_EQ(profile.available_at(50), 2);
+  EXPECT_EQ(profile.earliest_start(2, 10, 0), 50);
+}
+
+TEST(Reservation, ForeverReservationBlocksPermanently) {
+  ReservationProfile profile(4);
+  profile.reserve(10, ReservationProfile::kForever, 4);
+  EXPECT_EQ(profile.earliest_start(1, 5, 0), 0);   // fits before
+  EXPECT_EQ(profile.earliest_start(1, 20, 0), ReservationProfile::kNever);
+}
+
+TEST(Reservation, ZeroNodeRequestStartsImmediately) {
+  ReservationProfile profile(4);
+  profile.reserve(0, 100, 4);
+  EXPECT_EQ(profile.earliest_start(0, 10, 7), 7);
+}
+
+TEST(Reservation, ExactFitAtBoundary) {
+  // Window ending exactly when a dip begins is feasible.
+  ReservationProfile profile(4);
+  profile.reserve(100, 200, 4);
+  EXPECT_EQ(profile.earliest_start(4, 100, 0), 0);
+  EXPECT_EQ(profile.earliest_start(4, 101, 0), 200);
+}
+
+TEST(Reservation, OverlappingReservationsStack) {
+  ReservationProfile profile(10);
+  profile.reserve(0, 50, 4);
+  profile.reserve(25, 75, 4);
+  EXPECT_EQ(profile.available_at(30), 2);
+  EXPECT_EQ(profile.earliest_start(3, 10, 0), 0);    // 6 free before 25
+  EXPECT_EQ(profile.earliest_start(3, 30, 0), 50);   // dip at 25 blocks
+}
+
+}  // namespace
+}  // namespace sdsched

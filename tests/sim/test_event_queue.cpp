@@ -1,0 +1,110 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace sdsched {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.live_count(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.schedule(30, Event{EventKind::JobSubmit, 3});
+  queue.schedule(10, Event{EventKind::JobSubmit, 1});
+  queue.schedule(20, Event{EventKind::JobSubmit, 2});
+  EXPECT_EQ(queue.pop().event.job, 1u);
+  EXPECT_EQ(queue.pop().event.job, 2u);
+  EXPECT_EQ(queue.pop().event.job, 3u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, FinishBeforeSubmitAtSameTime) {
+  EventQueue queue;
+  queue.schedule(10, Event{EventKind::JobSubmit, 1});
+  queue.schedule(10, Event{EventKind::SchedulerTick, kInvalidJob});
+  queue.schedule(10, Event{EventKind::JobFinish, 2});
+  EXPECT_EQ(queue.pop().event.kind, EventKind::JobFinish);
+  EXPECT_EQ(queue.pop().event.kind, EventKind::JobSubmit);
+  EXPECT_EQ(queue.pop().event.kind, EventKind::SchedulerTick);
+}
+
+TEST(EventQueue, SameKindSameTimeKeepsInsertionOrder) {
+  EventQueue queue;
+  for (JobId id = 0; id < 10; ++id) {
+    queue.schedule(5, Event{EventKind::JobSubmit, id});
+  }
+  for (JobId id = 0; id < 10; ++id) {
+    EXPECT_EQ(queue.pop().event.job, id);
+  }
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue queue;
+  const auto h1 = queue.schedule(10, Event{EventKind::JobFinish, 1});
+  queue.schedule(20, Event{EventKind::JobFinish, 2});
+  EXPECT_TRUE(queue.cancel(h1));
+  EXPECT_EQ(queue.live_count(), 1u);
+  EXPECT_EQ(queue.pop().event.job, 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CancelTwiceIsNoop) {
+  EventQueue queue;
+  const auto h = queue.schedule(10, Event{EventKind::JobFinish, 1});
+  EXPECT_TRUE(queue.cancel(h));
+  EXPECT_FALSE(queue.cancel(h));
+}
+
+TEST(EventQueue, CancelInvalidOrUnknownHandle) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(kInvalidEvent));
+  EXPECT_FALSE(queue.cancel(9999));
+}
+
+TEST(EventQueue, CancelHeadExposesNext) {
+  EventQueue queue;
+  const auto h1 = queue.schedule(10, Event{EventKind::JobFinish, 1});
+  queue.schedule(20, Event{EventKind::JobFinish, 2});
+  queue.cancel(h1);
+  EXPECT_EQ(queue.next_time(), 20);
+}
+
+TEST(EventQueue, RescheduleViaCancelAndSchedule) {
+  EventQueue queue;
+  const auto h1 = queue.schedule(100, Event{EventKind::JobFinish, 7});
+  queue.cancel(h1);
+  queue.schedule(50, Event{EventKind::JobFinish, 7});
+  const auto fired = queue.pop();
+  EXPECT_EQ(fired.time, 50);
+  EXPECT_EQ(fired.event.job, 7u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, ManyCancellationsKeepQueueConsistent) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(queue.schedule(i, Event{EventKind::JobFinish, static_cast<JobId>(i)}));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    queue.cancel(handles[i]);
+  }
+  EXPECT_EQ(queue.live_count(), 500u);
+  SimTime last = -1;
+  int popped = 0;
+  while (!queue.empty()) {
+    const auto fired = queue.pop();
+    EXPECT_GT(fired.time, last);
+    EXPECT_EQ(fired.time % 2, 1);  // only odd times survive
+    last = fired.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 500);
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,66 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sdsched {
+namespace {
+
+CliArgs make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> args{"prog"};
+  args.insert(args.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliArgs, EqualsSyntax) {
+  const auto args = make_args({"--jobs=500"});
+  EXPECT_EQ(args.get_int("jobs", 0), 500);
+}
+
+TEST(CliArgs, SpaceSyntax) {
+  const auto args = make_args({"--nodes", "64"});
+  EXPECT_EQ(args.get_int("nodes", 0), 64);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const auto args = make_args({"--full"});
+  EXPECT_TRUE(args.get_bool("full"));
+}
+
+TEST(CliArgs, MissingUsesFallback) {
+  const auto args = make_args({});
+  EXPECT_EQ(args.get_int("jobs", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.25), 0.25);
+  EXPECT_EQ(args.get_or("name", "x"), "x");
+  EXPECT_FALSE(args.get_bool("verbose", false));
+}
+
+TEST(CliArgs, MalformedNumberFallsBack) {
+  const auto args = make_args({"--jobs=abc"});
+  EXPECT_EQ(args.get_int("jobs", 3), 3);
+}
+
+TEST(CliArgs, BoolSpellings) {
+  EXPECT_TRUE(make_args({"--x=true"}).get_bool("x"));
+  EXPECT_TRUE(make_args({"--x=yes"}).get_bool("x"));
+  EXPECT_TRUE(make_args({"--x=on"}).get_bool("x"));
+  EXPECT_FALSE(make_args({"--x=0"}).get_bool("x", true));
+}
+
+TEST(CliArgs, EnvFallback) {
+  ::setenv("SDSCHED_FROM_ENV", "99", 1);
+  const auto args = make_args({});
+  EXPECT_EQ(args.get_int("from-env", 0), 99);
+  ::unsetenv("SDSCHED_FROM_ENV");
+}
+
+TEST(CliArgs, CommandLineBeatsEnv) {
+  ::setenv("SDSCHED_PRIO", "1", 1);
+  const auto args = make_args({"--prio=2"});
+  EXPECT_EQ(args.get_int("prio", 0), 2);
+  ::unsetenv("SDSCHED_PRIO");
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,49 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace sdsched {
+namespace {
+
+TEST(Histogram, BucketIndexRespectsEdges) {
+  Histogram h({0.0, 10.0, 20.0, 30.0});
+  EXPECT_EQ(h.bucket_count(), 3u);
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(9.99), 0u);
+  EXPECT_EQ(h.bucket_index(10.0), 1u);
+  EXPECT_EQ(h.bucket_index(29.0), 2u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEndBuckets) {
+  Histogram h({0.0, 1.0, 2.0});
+  EXPECT_EQ(h.bucket_index(-5.0), 0u);
+  EXPECT_EQ(h.bucket_index(2.0), 1u);
+  EXPECT_EQ(h.bucket_index(100.0), 1u);
+}
+
+TEST(Histogram, AddAccumulatesWeights) {
+  Histogram h({0.0, 10.0, 20.0});
+  h.add(5.0);
+  h.add(5.0, 2.5);
+  h.add(15.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.5);
+}
+
+TEST(Histogram, Log2BucketsCoverRange) {
+  const Histogram h = Histogram::log2_buckets(1.0, 64.0);
+  // Edges 1,2,4,...,128 -> 7 buckets, covering 64 inside the last-but-one.
+  EXPECT_GE(h.bucket_count(), 6u);
+  EXPECT_EQ(h.edges().front(), 1.0);
+  EXPECT_GE(h.edges().back(), 64.0);
+}
+
+TEST(Histogram, BucketLabelFormat) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.bucket_label(0), "[1, 2)");
+  EXPECT_EQ(h.bucket_label(1), "[2, 4)");
+}
+
+}  // namespace
+}  // namespace sdsched

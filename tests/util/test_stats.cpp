@@ -1,0 +1,99 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sdsched {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream) {
+  OnlineStats left;
+  OnlineStats right;
+  OnlineStats combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? left : right).add(x);
+    combined.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats empty;
+  OnlineStats filled;
+  filled.add(1.0);
+  filled.add(3.0);
+  OnlineStats copy = filled;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 2.0);
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(BatchStats, MeanOf) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(BatchStats, PercentileInterpolates) {
+  const std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile_of(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(values, 0.5), 25.0);
+  EXPECT_NEAR(percentile_of(values, 0.25), 17.5, 1e-9);
+}
+
+TEST(BatchStats, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile_of({40.0, 10.0, 30.0, 20.0}, 0.5), 25.0);
+}
+
+TEST(BatchStats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(median_of({5.0, 1.0, 9.0}), 5.0);
+}
+
+TEST(BatchStats, PercentileClampsP) {
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_of(values, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(values, 1.5), 2.0);
+}
+
+}  // namespace
+}  // namespace sdsched

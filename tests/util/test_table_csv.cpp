@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace sdsched {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "2"});
+  const std::string out = table.str();
+  // Every rendered line has identical width.
+  std::istringstream iss(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(iss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(AsciiTable, ShortRowsPadded) {
+  AsciiTable table({"a", "b", "c"});
+  table.add_row({"1"});
+  EXPECT_NE(table.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(AsciiTable, NumFormatsPrecision) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+}
+
+TEST(AsciiTable, PctFormatsSign) {
+  EXPECT_EQ(AsciiTable::pct(-0.704), "-70.4%");
+  EXPECT_EQ(AsciiTable::pct(0.07), "+7.0%");
+}
+
+TEST(CsvWriter, QuotesSpecialFields) {
+  const std::string path = testing::TempDir() + "/sdsched_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.write_row({"plain", "with,comma", "with\"quote"});
+    csv.row("x", 1, 2.5);
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "plain,\"with,comma\",\"with\"\"quote\"");
+  EXPECT_EQ(line2.substr(0, 4), "x,1,");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdsched

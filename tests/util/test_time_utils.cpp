@@ -1,0 +1,33 @@
+#include "util/time_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace sdsched {
+namespace {
+
+TEST(TimeUtils, FormatSeconds) { EXPECT_EQ(format_duration(42), "42s"); }
+
+TEST(TimeUtils, FormatMinutes) { EXPECT_EQ(format_duration(125), "2m 05s"); }
+
+TEST(TimeUtils, FormatHours) { EXPECT_EQ(format_duration(2 * kHour + 3 * kMinute + 4), "2h 03m 04s"); }
+
+TEST(TimeUtils, FormatDays) {
+  EXPECT_EQ(format_duration(kDay + 2 * kHour + 30 * kMinute), "1d 2h 30m");
+}
+
+TEST(TimeUtils, FormatNegative) { EXPECT_EQ(format_duration(-90), "-1m 30s"); }
+
+TEST(TimeUtils, DayOf) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(kDay - 1), 0);
+  EXPECT_EQ(day_of(kDay), 1);
+  EXPECT_EQ(day_of(10 * kDay + 5), 10);
+}
+
+TEST(TimeUtils, SecondOfDay) {
+  EXPECT_EQ(second_of_day(5), 5);
+  EXPECT_EQ(second_of_day(kDay + 7), 7);
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,74 @@
+#include "workload/app_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/cirne.h"
+
+namespace sdsched {
+namespace {
+
+TEST(AppProfiles, Table2SharesSumToOne) {
+  double total = 0.0;
+  for (const auto& profile : table2_profiles()) {
+    total += profile.workload_share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AppProfiles, Table2Membership) {
+  EXPECT_EQ(table2_profiles().size(), 5u);
+  EXPECT_GE(profile_index("PILS"), 0);
+  EXPECT_GE(profile_index("STREAM"), 0);
+  EXPECT_GE(profile_index("CoreNeuron"), 0);
+  EXPECT_GE(profile_index("NEST"), 0);
+  EXPECT_GE(profile_index("Alya"), 0);
+  EXPECT_EQ(profile_index("nonexistent"), -1);
+}
+
+TEST(AppProfiles, BehaviouralContrasts) {
+  const auto& profiles = table2_profiles();
+  const auto& pils = profiles[profile_index("PILS")];
+  const auto& stream = profiles[profile_index("STREAM")];
+  // PILS is compute-bound and perfectly scalable; STREAM the opposite.
+  EXPECT_GT(pils.cpu_utilization, stream.cpu_utilization);
+  EXPECT_LT(pils.mem_utilization, stream.mem_utilization);
+  EXPECT_GT(pils.scalability_alpha, stream.scalability_alpha);
+  EXPECT_LT(pils.mem_bw_per_core, stream.mem_bw_per_core);
+}
+
+TEST(AppProfiles, AssignmentFollowsShares) {
+  CirneConfig config;
+  config.n_jobs = 5000;
+  config.system_nodes = 32;
+  config.seed = 7;
+  Workload w = generate_cirne(config);
+  assign_applications(w, 123);
+
+  std::vector<std::size_t> counts(table2_profiles().size(), 0);
+  for (const auto& spec : w.jobs()) {
+    ASSERT_GE(spec.app_profile, 0);
+    ASSERT_LT(spec.app_profile, static_cast<int>(counts.size()));
+    ++counts[spec.app_profile];
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double expected = table2_profiles()[i].workload_share;
+    const double actual = static_cast<double>(counts[i]) / static_cast<double>(w.size());
+    EXPECT_NEAR(actual, expected, 0.03) << table2_profiles()[i].name;
+  }
+}
+
+TEST(AppProfiles, AssignmentDeterministic) {
+  CirneConfig config;
+  config.n_jobs = 200;
+  config.system_nodes = 16;
+  Workload a = generate_cirne(config);
+  Workload b = generate_cirne(config);
+  assign_applications(a, 9);
+  assign_applications(b, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].app_profile, b.jobs()[i].app_profile);
+  }
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,99 @@
+#include "workload/synthetic_logs.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/workload_stats.h"
+
+namespace sdsched {
+namespace {
+
+TEST(RiccLike, MatchesPaperShapeAtScale) {
+  RiccConfig config;
+  config.scale = 0.05;  // 512 jobs on 51 nodes
+  const Workload w = generate_ricc_like(config);
+  const WorkloadStats stats = characterize(w);
+  EXPECT_EQ(stats.n_jobs, 500u);
+  EXPECT_EQ(w.info().cores_per_node, 8);
+  // Small jobs dominate (the paper calls RICC out for exactly this).
+  std::size_t single_node = 0;
+  for (const auto& spec : w.jobs()) {
+    if (spec.req_nodes == 1) ++single_node;
+    EXPECT_LE(spec.base_runtime, 4 * kDay);
+  }
+  EXPECT_GT(single_node, w.size() / 2);
+}
+
+TEST(RiccLike, FullScaleDimensions) {
+  RiccConfig config;
+  config.scale = 1.0;
+  config.base_jobs = 1000;  // keep the test fast; nodes at paper scale
+  const Workload w = generate_ricc_like(config);
+  EXPECT_EQ(w.info().system_nodes, 1024);
+  WorkloadStats stats = characterize(w);
+  EXPECT_LE(stats.max_job_nodes, 72);
+}
+
+TEST(CurieLike, ScalesJobsAndNodesTogether) {
+  CurieConfig config;
+  config.scale = 0.01;
+  const Workload w = generate_curie_like(config);
+  EXPECT_NEAR(static_cast<double>(w.info().system_nodes), 50.4, 1.0);
+  EXPECT_NEAR(static_cast<double>(w.size()), 1985.0, 25.0);
+  EXPECT_EQ(w.info().cores_per_node, 16);
+}
+
+TEST(CurieLike, ShortSmallJobsDominate) {
+  CurieConfig config;
+  config.scale = 0.02;
+  const Workload w = generate_curie_like(config);
+  std::size_t short_jobs = 0;
+  std::size_t one_node = 0;
+  for (const auto& spec : w.jobs()) {
+    if (spec.base_runtime <= kHour) ++short_jobs;
+    if (spec.req_nodes == 1) ++one_node;
+  }
+  EXPECT_GT(short_jobs, w.size() / 2);
+  EXPECT_GT(one_node, w.size() / 2);
+}
+
+TEST(CurieLike, Deterministic) {
+  CurieConfig config;
+  config.scale = 0.01;
+  const Workload a = generate_curie_like(config);
+  const Workload b = generate_curie_like(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a.jobs()[i].base_runtime, b.jobs()[i].base_runtime);
+    EXPECT_EQ(a.jobs()[i].submit, b.jobs()[i].submit);
+  }
+}
+
+TEST(SyntheticLogs, RequestedTimesOverestimate) {
+  RiccConfig config;
+  config.scale = 0.05;
+  const Workload w = generate_ricc_like(config);
+  double accuracy_sum = 0.0;
+  for (const auto& spec : w.jobs()) {
+    EXPECT_GE(spec.req_time, spec.base_runtime);
+    accuracy_sum += static_cast<double>(spec.base_runtime) /
+                    static_cast<double>(spec.req_time);
+  }
+  // Mean accuracy well below 1: users overestimate, which backfill relies on.
+  EXPECT_LT(accuracy_sum / static_cast<double>(w.size()), 0.7);
+}
+
+TEST(WorkloadStats, CharacterizeReportsExtremes) {
+  CurieConfig config;
+  config.scale = 0.01;
+  const Workload w = generate_curie_like(config);
+  const WorkloadStats stats = characterize(w);
+  EXPECT_EQ(stats.n_jobs, w.size());
+  EXPECT_GT(stats.max_job_nodes, 1);
+  EXPECT_GT(stats.submit_span, 0);
+  EXPECT_GT(stats.mean_runtime, stats.median_runtime);  // heavy tail
+  EXPECT_DOUBLE_EQ(stats.pct_malleable, 1.0);
+  EXPECT_FALSE(to_string(stats).empty());
+}
+
+}  // namespace
+}  // namespace sdsched
