@@ -15,4 +15,11 @@ void EnergyAccountant::observe(SimTime now, int busy_cores, int occupied_nodes) 
   occupied_nodes_ = occupied_nodes;
 }
 
+void EnergyAccountant::credit(double core_seconds, double occupied_node_seconds) noexcept {
+  joules_ += core_seconds * config_.watts_per_busy_core;
+  if (config_.power_down_idle_nodes) {
+    joules_ += occupied_node_seconds * config_.idle_watts_per_node;
+  }
+}
+
 }  // namespace sdsched

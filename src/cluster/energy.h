@@ -27,6 +27,14 @@ class EnergyAccountant {
   /// new load. Call before every load change and once at simulation end.
   void observe(SimTime now, int busy_cores, int occupied_nodes) noexcept;
 
+  /// Retroactive correction for a load change backdated into an interval the
+  /// integral has already covered (e.g. a population reconstructed with
+  /// historical start times): `core_seconds` extra busy-core-seconds and
+  /// `occupied_node_seconds` extra occupied-node-seconds, either signed.
+  /// Idle draw is only affected when idle nodes are powered down — otherwise
+  /// every node was already billed as powered for the whole interval.
+  void credit(double core_seconds, double occupied_node_seconds) noexcept;
+
   [[nodiscard]] double joules() const noexcept { return joules_; }
   [[nodiscard]] double kwh() const noexcept { return joules_ / 3.6e6; }
   [[nodiscard]] const EnergyConfig& config() const noexcept { return config_; }

@@ -77,11 +77,21 @@ int Machine::eligible_node_count(const JobConstraints& constraints) const {
   return eligible;
 }
 
-void Machine::touch(SimTime now) {
-  assert(now >= last_touch_);
+SimTime Machine::touch(SimTime now) {
+  if (now < last_touch_) return last_touch_ - now;
   core_seconds_ += static_cast<double>(busy_cores_) * static_cast<double>(now - last_touch_);
   energy_.observe(now, busy_cores_, occupied_nodes());
   last_touch_ = now;
+  return 0;
+}
+
+void Machine::commit(SimTime span, int cpu_delta, int node_delta) {
+  if (span > 0) {
+    core_seconds_ += static_cast<double>(cpu_delta) * static_cast<double>(span);
+    energy_.credit(static_cast<double>(cpu_delta) * static_cast<double>(span),
+                   static_cast<double>(node_delta) * static_cast<double>(span));
+  }
+  energy_.observe(last_touch_, busy_cores_, occupied_nodes());
 }
 
 void Machine::sync_free_state(int node_id) {
@@ -98,7 +108,8 @@ bool Machine::allocate_exclusive(SimTime now, JobId job, const std::vector<int>&
   for (const int id : node_ids) {
     if (!nodes_.at(id).empty()) return false;
   }
-  touch(now);
+  const SimTime backdated = touch(now);
+  int added_cores = 0;
   for (std::size_t i = 0; i < node_ids.size(); ++i) {
     const int id = node_ids[i];
     const int held = std::clamp(cpus[i], 1, nodes_[id].total_cores());
@@ -106,16 +117,20 @@ bool Machine::allocate_exclusive(SimTime now, JobId job, const std::vector<int>&
     assert(ok);
     (void)ok;
     busy_cores_ += held;
+    added_cores += held;
     sync_free_state(id);
   }
+  commit(backdated, added_cores, static_cast<int>(node_ids.size()));
   return true;
 }
 
 bool Machine::add_share(SimTime now, JobId job, int node_id, int cpus, bool is_owner) {
-  touch(now);
-  if (!nodes_.at(node_id).add(job, cpus, is_owner)) return false;
+  const SimTime backdated = touch(now);
+  const bool was_empty = nodes_.at(node_id).empty();
+  if (!nodes_[node_id].add(job, cpus, is_owner)) return false;
   busy_cores_ += cpus;
   sync_free_state(node_id);
+  commit(backdated, cpus, was_empty ? 1 : 0);
   return true;
 }
 
@@ -123,28 +138,37 @@ bool Machine::resize_share(SimTime now, JobId job, int node_id, int cpus) {
   auto& node = nodes_.at(node_id);
   const auto occ = node.occupant(job);
   if (!occ) return false;
-  touch(now);
+  const SimTime backdated = touch(now);
   if (!node.resize(job, cpus)) return false;
   busy_cores_ += cpus - occ->cpus;
+  commit(backdated, cpus - occ->cpus, 0);
   return true;
 }
 
 int Machine::remove_share(SimTime now, JobId job, int node_id) {
-  touch(now);
+  const SimTime backdated = touch(now);
   const int freed = nodes_.at(node_id).remove(job);
   busy_cores_ -= freed;
+  const bool emptied = freed > 0 && nodes_[node_id].empty();
   sync_free_state(node_id);
+  commit(backdated, -freed, emptied ? -1 : 0);
   return freed;
 }
 
 void Machine::release_all(SimTime now, JobId job, const std::vector<int>& node_ids) {
-  touch(now);
+  const SimTime backdated = touch(now);
+  int freed_cores = 0;
+  int emptied = 0;
   for (const int id : node_ids) {
-    busy_cores_ -= nodes_.at(id).remove(job);
+    const int freed = nodes_.at(id).remove(job);
+    if (freed > 0 && nodes_[id].empty()) ++emptied;
+    busy_cores_ -= freed;
+    freed_cores += freed;
     sync_free_state(id);
   }
+  commit(backdated, -freed_cores, -emptied);
 }
 
-void Machine::finalize_energy(SimTime now) { touch(now); }
+void Machine::finalize_energy(SimTime now) { (void)touch(now); }
 
 }  // namespace sdsched

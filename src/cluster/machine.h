@@ -90,7 +90,28 @@ class Machine {
   [[nodiscard]] double core_seconds() const noexcept { return core_seconds_; }
 
  private:
-  void touch(SimTime now);
+  /// Advance accounting to `now`: integrate [last_touch_, now] with the load
+  /// that was current and move the frontier. Callers may legitimately pass a
+  /// `now` *behind* the frontier — reference-model tests and warm-start
+  /// scenarios reconstruct a running population with historical, non-monotonic
+  /// start times — in which case nothing is integrated and the backdated span
+  /// `last_touch_ - now` is returned (0 on the normal forward path).
+  [[nodiscard]] SimTime touch(SimTime now);
+
+  /// Finish a mutation: record the post-change load with the energy model and,
+  /// for a backdated mutation (`span` > 0), credit the `cpu_delta` cores /
+  /// `node_delta` occupied nodes that were active over the already-integrated
+  /// span, so totals match a chronological replay of the same calls.
+  ///
+  /// Core-second credits are additive and therefore order-independent, but
+  /// node occupancy is a union: the `node_delta` passed by the share
+  /// operations is derived from emptiness at call time, so backdated shared
+  /// ops touching the *same node* must be applied in chronological order or
+  /// the occupied-node-seconds credit (idle power under
+  /// `power_down_idle_nodes`) under-counts. Backdated exclusive allocations
+  /// have no such constraint — an out-of-order conflict fails loudly.
+  void commit(SimTime span, int cpu_delta, int node_delta);
+
   void sync_free_state(int node_id);
 
   MachineConfig config_;

@@ -108,9 +108,10 @@ TEST_F(NodePerfTest, MultiNodeAveragesContention) {
   spec.req_cpus = 48;
   spec.app_profile = profile_index("CoreNeuron");
   const JobId guest = jobs_.add(spec);
-  Job& job = jobs_.at(guest);
   add_job("STREAM", 24, 0, true);
   add_job("PILS", 24, 1, true);
+  // Re-fetch after the adds above: the registry may reallocate its storage.
+  Job& job = jobs_.at(guest);
   job.state = JobState::Running;
   job.shares.push_back({0, 24, 24});
   job.shares.push_back({1, 24, 24});
