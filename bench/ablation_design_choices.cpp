@@ -42,27 +42,23 @@ int main(int argc, char** argv) {
       {"adaptive-sf", [](SdConfig& sd) { sd.adaptive_sharing = true; }},
   };
 
-  AsciiTable table({"workload", "variant", "slowdown vs static", "response vs static",
-                    "guests"});
+  // The whole ablation grid as data — per workload one conservative
+  // baseline plus every variant — executed as a single parallel sweep.
+  GridBuilder grid;
   for (const int which : {1, 3}) {
     const PaperWorkload pw = load_workload(which, ctx);
-    const SimulationReport base = run_single(pw, baseline_config(pw.machine));
+    grid.baseline(pw.label + "/baseline", pw.workload, baseline_config(pw.machine));
+    const auto add_cell = [&](const std::string& label, const SimulationConfig& cfg) {
+      grid.variant(pw.label, label, 0, pw.workload, cfg);
+    };
     for (const auto& v : variants) {
-      const SimulationReport report = run_single(pw, variant(pw.machine, v.tweak));
-      const NormalizedMetrics norm = normalize(report.summary, base.summary);
-      table.add_row({pw.label, v.label, AsciiTable::num(norm.avg_slowdown, 3),
-                     AsciiTable::num(norm.avg_response, 3),
-                     std::to_string(report.summary.guests)});
+      add_cell(v.label, variant(pw.machine, v.tweak));
     }
     // Future work #2: plan on predicted durations instead of user requests.
     {
       SimulationConfig predicted = variant(pw.machine, [](SdConfig&) {});
       predicted.use_runtime_prediction = true;
-      const SimulationReport report = run_single(pw, predicted);
-      const NormalizedMetrics norm = normalize(report.summary, base.summary);
-      table.add_row({pw.label, "runtime-prediction", AsciiTable::num(norm.avg_slowdown, 3),
-                     AsciiTable::num(norm.avg_response, 3),
-                     std::to_string(report.summary.guests)});
+      add_cell("runtime-prediction", predicted);
     }
     // §2.1's core claim: DROM's near-zero shrink/expand cost is what makes
     // high-frequency malleability pay off. Checkpoint/restart-style costs
@@ -70,21 +66,25 @@ int main(int argc, char** argv) {
     for (const SimTime overhead : {static_cast<SimTime>(60), static_cast<SimTime>(600)}) {
       SimulationConfig costly = variant(pw.machine, [](SdConfig&) {});
       costly.reconfig_overhead = overhead;
-      const SimulationReport report = run_single(pw, costly);
-      const NormalizedMetrics norm = normalize(report.summary, base.summary);
-      table.add_row({pw.label, "reconfig cost " + std::to_string(overhead) + "s",
-                     AsciiTable::num(norm.avg_slowdown, 3),
-                     AsciiTable::num(norm.avg_response, 3),
-                     std::to_string(report.summary.guests)});
+      add_cell("reconfig cost " + std::to_string(overhead) + "s", costly);
     }
     // Baseline ablation: EASY (depth 1) vs conservative backfill.
     SimulationConfig easy = baseline_config(pw.machine);
     easy.sched.reservation_depth = 1;
-    const SimulationReport easy_report = run_single(pw, easy);
-    const NormalizedMetrics norm = normalize(easy_report.summary, base.summary);
-    table.add_row({pw.label, "EASY baseline", AsciiTable::num(norm.avg_slowdown, 3),
-                   AsciiTable::num(norm.avg_response, 3), "0"});
+    add_cell("EASY baseline", easy);
+  }
+  const SweepExecution exec = grid.run(ctx);
+
+  AsciiTable table({"workload", "variant", "slowdown vs static", "response vs static",
+                    "guests"});
+  for (std::size_t i = 0; i < grid.rows.size(); ++i) {
+    const SweepRow& row = grid.rows[i];
+    table.add_row({row.workload, row.variant,
+                   AsciiTable::num(row.normalized.avg_slowdown, 3),
+                   AsciiTable::num(row.normalized.avg_response, 3),
+                   std::to_string(grid.row_report(exec, i).summary.guests)});
   }
   table.print();
+  write_bench_json(ctx.json_path, "Ablation", ctx, exec, grid.rows);
   return 0;
 }

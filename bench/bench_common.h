@@ -1,20 +1,33 @@
-// Shared bench plumbing: workload scales, paper reference values, and the
-// normalized-metrics sweep used by several figures.
+// Shared bench plumbing: workload scales, the sweep-grid helpers every
+// figure/table bench executes through, and machine-readable JSON output.
 //
 // Every bench accepts:
-//   --scale=<f>      scale for W1-W3/W5 (default keeps runs < ~1 min)
+//   --scale=<f>       scale for W1-W3/W5 (default keeps runs < ~1 min)
 //   --scale-curie=<f> scale for the 198K-job W4 (default 0.02)
-//   --full           paper scale for everything (minutes of CPU time)
-//   --seed=<n>       workload seed
+//   --full            paper scale for everything (minutes of CPU time)
+//   --seed=<n>        workload seed
+//   --jobs=<n>        sweep concurrency: 0 = one worker per hardware thread
+//                     (the default — the grid is parallel by default),
+//                     1 = serial inline execution
+//   --seeds=<n>       replicate the grid across n deterministically derived
+//                     workload seeds (rep 0 = --seed; SweepRunner::cell_seed
+//                     derives the rest). Tables show rep 0; JSON has all.
+//   --json=<path>     write a machine-readable BENCH_*.json-style document
+//   --check-serial    after the sweep, re-run serially and verify per-cell
+//                     reports are byte-identical (prints both wall-clocks)
 // Values also come from SDSCHED_* environment variables (see util/cli.h).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "api/experiment.h"
+#include "api/sweep.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace sdsched::bench {
@@ -24,6 +37,10 @@ struct BenchContext {
   double scale_curie = 0.02;  ///< W4 (198509 jobs at 1.0)
   double scale_w5 = 1.0;      ///< W5 is small enough to run at paper scale
   std::uint64_t seed = 0;     ///< 0 = per-workload default seeds
+  int jobs = 0;               ///< sweep workers (0 = hardware, 1 = serial)
+  int seed_reps = 1;          ///< grid replications across derived seeds
+  std::string json_path;      ///< "" = no JSON output
+  bool check_serial = false;  ///< verify parallel == serial per cell
 
   static BenchContext from_args(int argc, const char* const* argv) {
     const CliArgs args(argc, argv);
@@ -38,6 +55,11 @@ struct BenchContext {
       ctx.scale_w5 = args.get_double("scale-w5", ctx.scale_w5);
     }
     ctx.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+    ctx.jobs = static_cast<int>(args.get_int("jobs", 0));
+    ctx.seed_reps = static_cast<int>(args.get_int("seeds", 1));
+    if (ctx.seed_reps < 1) ctx.seed_reps = 1;
+    ctx.json_path = args.get_or("json", "");
+    ctx.check_serial = args.get_bool("check-serial");
     return ctx;
   }
 
@@ -46,42 +68,221 @@ struct BenchContext {
     if (which == 5) return scale_w5;
     return scale_small;
   }
+
+  /// Workload seed for grid replication `rep` (rep 0 = the --seed value).
+  [[nodiscard]] std::uint64_t seed_for_rep(int rep) const {
+    return rep == 0 ? seed : SweepRunner::cell_seed(seed, static_cast<std::size_t>(rep));
+  }
 };
 
-inline PaperWorkload load_workload(int which, const BenchContext& ctx) {
-  PaperWorkload pw = paper_workload(which, ctx.scale_for(which), ctx.seed);
-  std::printf("  %s: %zu jobs on %d nodes x %d cores (scale %.3g)\n", pw.label.c_str(),
-              pw.workload.size(), pw.machine.nodes,
-              pw.machine.node.sockets * pw.machine.node.cores_per_socket,
-              ctx.scale_for(which));
+/// Parse a "--workloads=1,3,4"-style list (values clamped to 1..5).
+inline std::vector<int> parse_workload_list(const std::string& csv,
+                                            std::vector<int> fallback) {
+  if (csv.empty()) return fallback;
+  std::vector<int> out;
+  for (std::size_t pos = 0; pos < csv.size();) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token = csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const int which = std::atoi(token.c_str());
+    if (which >= 1 && which <= 5) out.push_back(which);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
+inline PaperWorkload load_workload(int which, const BenchContext& ctx,
+                                   std::uint64_t seed_override = 0, bool announce = true) {
+  const std::uint64_t seed = seed_override != 0 ? seed_override : ctx.seed;
+  PaperWorkload pw = paper_workload(which, ctx.scale_for(which), seed);
+  if (announce) {
+    std::printf("  %s: %zu jobs on %d nodes x %d cores (scale %.3g)\n", pw.label.c_str(),
+                pw.workload.size(), pw.machine.nodes,
+                pw.machine.node.sockets * pw.machine.node.cores_per_socket,
+                ctx.scale_for(which));
+  }
   return pw;
 }
 
-/// One row of the Fig. 1-3 sweep: normalized metrics per cut-off variant.
+/// One normalized comparison of a sweep cell against its baseline cell.
 struct SweepRow {
-  std::string workload;
-  std::string variant;
+  std::string cell;      ///< cell name, e.g. "W1/MAXSD 10"
+  std::string baseline;  ///< baseline cell name, e.g. "W1/baseline"
+  std::string workload;  ///< workload label ("W1")
+  std::string variant;   ///< variant label ("MAXSD 10")
+  int rep = 0;           ///< seed replication index
   NormalizedMetrics normalized;
 };
 
-/// Run the MAXSD sweep (Figs. 1-3) over the given workloads: for each, one
-/// static-backfill baseline plus every cut-off variant, all normalized to
-/// the baseline.
-inline std::vector<SweepRow> run_maxsd_sweep(const std::vector<int>& workloads,
-                                             const BenchContext& ctx,
-                                             RuntimeModelKind exec = RuntimeModelKind::Ideal) {
+struct SweepExecution {
+  std::vector<SweepResult> results;
+  double wall_seconds = 0.0;
+};
+
+/// Execute `cells` with the context's --jobs setting; print a one-line
+/// timing note. With --check-serial, re-run serially and abort (exit 1) if
+/// any per-cell report differs byte-for-byte.
+inline SweepExecution run_cells(const std::vector<SweepCell>& cells, const BenchContext& ctx) {
+  SweepExecution exec;
+  const SweepRunner runner(ctx.jobs);
+  const auto start = std::chrono::steady_clock::now();
+  exec.results = runner.run(cells);
+  exec.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::printf("  sweep: %zu cells in %.2fs (%zu workers)\n", cells.size(), exec.wall_seconds,
+              runner.effective_jobs(cells.size()));
+  if (ctx.check_serial) {
+    const auto serial_start = std::chrono::steady_clock::now();
+    const auto serial = SweepRunner(1).run(cells);
+    const double serial_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - serial_start).count();
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      // Summary/counters via the canonical JSON form, plus every per-job
+      // record — the heatmap/timeline benches consume records directly.
+      if (serial[i].report.json() != exec.results[i].report.json() ||
+          serial[i].report.records != exec.results[i].report.records) {
+        std::fprintf(stderr, "  MISMATCH: cell '%s' differs between parallel and serial run\n",
+                     cells[i].name.c_str());
+        ++mismatches;
+      }
+    }
+    std::printf("  check-serial: serial re-run %.2fs vs %.2fs parallel; %zu cells %s\n",
+                serial_wall, exec.wall_seconds, cells.size(),
+                mismatches == 0 ? "byte-identical" : "MISMATCHED");
+    if (mismatches != 0) std::exit(1);
+  }
+  return exec;
+}
+
+/// Declarative grid construction shared by the bench binaries: a sequence
+/// of baseline() / variant() calls, then run() executes the whole grid and
+/// fills every row's metrics normalized against its baseline cell.
+class GridBuilder {
+ public:
+  /// Start a new baseline cell; subsequent variant() calls normalize
+  /// against it.
+  void baseline(const std::string& name, const Workload& workload,
+                const SimulationConfig& cfg) {
+    base_index_ = cells.size();
+    cells.push_back(SweepCell{name, workload, cfg});
+  }
+
+  void variant(const std::string& workload_label, const std::string& variant_label, int rep,
+               const Workload& workload, const SimulationConfig& cfg) {
+    const std::string prefix =
+        rep == 0 ? workload_label : workload_label + "#" + std::to_string(rep);
+    row_cell_.push_back(cells.size());
+    row_base_.push_back(base_index_);
+    cells.push_back(SweepCell{prefix + "/" + variant_label, workload, cfg});
+    rows.push_back(SweepRow{cells.back().name, cells[base_index_].name, workload_label,
+                            variant_label, rep, NormalizedMetrics{}});
+  }
+
+  /// Execute via run_cells() and fill in rows[i].normalized.
+  SweepExecution run(const BenchContext& ctx) {
+    SweepExecution exec = run_cells(cells, ctx);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      rows[i].normalized = normalize(exec.results[row_cell_[i]].report.summary,
+                                     exec.results[row_base_[i]].report.summary);
+    }
+    return exec;
+  }
+
+  /// The report behind rows[row] (for per-variant counters like guests).
+  [[nodiscard]] const SimulationReport& row_report(const SweepExecution& exec,
+                                                   std::size_t row) const {
+    return exec.results[row_cell_[row]].report;
+  }
+
+  std::vector<SweepCell> cells;
+  std::vector<SweepRow> rows;  ///< one per variant() call
+
+ private:
+  std::vector<std::size_t> row_cell_;  ///< rows[i] <- cells[row_cell_[i]]
+  std::vector<std::size_t> row_base_;  ///< rows[i]'s baseline cell index
+  std::size_t base_index_ = 0;
+};
+
+/// Run the MAXSD sweep (Figs. 1-3) over the given workloads: per
+/// (seed rep, workload) one static-backfill baseline cell plus every
+/// cut-off variant, all sharing that workload's job storage.
+struct MaxsdSweepOutput {
   std::vector<SweepRow> rows;
-  for (const int which : workloads) {
-    const PaperWorkload pw = load_workload(which, ctx);
-    const SimulationReport base = run_single(pw, baseline_config(pw.machine));
-    for (const auto& variant : maxsd_sweep()) {
-      SimulationConfig cfg = sd_config(pw.machine, variant.cutoff, exec);
-      const SimulationReport report = run_single(pw, cfg);
-      rows.push_back(SweepRow{pw.label, variant.label,
-                              normalize(report.summary, base.summary)});
+  SweepExecution exec;
+};
+
+inline MaxsdSweepOutput run_maxsd_sweep(const std::vector<int>& workloads,
+                                        const BenchContext& ctx,
+                                        RuntimeModelKind exec = RuntimeModelKind::Ideal) {
+  GridBuilder grid;
+  for (int rep = 0; rep < ctx.seed_reps; ++rep) {
+    for (const int which : workloads) {
+      const PaperWorkload pw =
+          load_workload(which, ctx, ctx.seed_for_rep(rep), /*announce=*/rep == 0);
+      const std::string prefix =
+          rep == 0 ? pw.label : pw.label + "#" + std::to_string(rep);
+      grid.baseline(prefix + "/baseline", pw.workload, baseline_config(pw.machine));
+      for (const auto& v : maxsd_sweep()) {
+        grid.variant(pw.label, v.label, rep, pw.workload,
+                     sd_config(pw.machine, v.cutoff, exec));
+      }
     }
   }
-  return rows;
+  MaxsdSweepOutput out;
+  out.exec = grid.run(ctx);
+  out.rows = std::move(grid.rows);
+  return out;
+}
+
+/// Write the machine-readable bench document ("sdsched-bench-v1"): context,
+/// every cell's report and wall-clock, plus the normalized rows (if any).
+inline void write_bench_json(const std::string& path, const char* bench_id,
+                             const BenchContext& ctx, const SweepExecution& exec,
+                             const std::vector<SweepRow>& rows = {}) {
+  if (path.empty()) return;
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "sdsched-bench-v1");
+  json.field("bench", bench_id);
+  json.key("context");
+  json.begin_object();
+  json.field("scale_small", ctx.scale_small);
+  json.field("scale_curie", ctx.scale_curie);
+  json.field("scale_w5", ctx.scale_w5);
+  json.field("seed", ctx.seed);
+  json.field("seed_reps", ctx.seed_reps);
+  json.field("jobs", ctx.jobs);
+  json.end_object();
+  json.field("wall_seconds", exec.wall_seconds);
+  json.key("cells");
+  json.begin_array();
+  for (const auto& result : exec.results) {
+    json.begin_object();
+    json.field("name", result.name);
+    json.field("wall_seconds", result.wall_seconds);
+    json.key("report");
+    result.report.to_json(json);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("normalized");
+  json.begin_array();
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.field("cell", row.cell);
+    json.field("baseline", row.baseline);
+    json.field("workload", row.workload);
+    json.field("variant", row.variant);
+    json.field("rep", row.rep);
+    json.key("metrics");
+    to_json(json, row.normalized);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  write_text_file(path, json.str());
+  std::printf("  (json written to %s)\n", path.c_str());
 }
 
 inline void print_banner(const char* id, const char* title, const char* paper_note) {

@@ -17,9 +17,13 @@ int main(int argc, char** argv) {
                "guests (10.3%) and 17102 mates (8.6%) of 198509 jobs");
 
   const PaperWorkload pw = load_workload(4, ctx);
-  const SimulationReport base = run_single(pw, baseline_config(pw.machine));
-  const SimulationReport sd =
-      run_single(pw, sd_config(pw.machine, CutoffConfig::max_sd(10.0)));
+  const std::vector<SweepCell> cells = {
+      {"W4/baseline", pw.workload, baseline_config(pw.machine)},
+      {"W4/MAXSD 10", pw.workload, sd_config(pw.machine, CutoffConfig::max_sd(10.0))},
+  };
+  const SweepExecution exec = run_cells(cells, ctx);
+  const SimulationReport& base = exec.results[0].report;
+  const SimulationReport& sd = exec.results[1].report;
 
   const DailySeries sd_series = DailySeries::from_records(sd.records);
   const DailySeries base_series = DailySeries::from_records(base.records);
@@ -56,5 +60,11 @@ int main(int argc, char** argv) {
   for (const auto& p : sd_series.points()) sd_peak = std::max(sd_peak, p.avg_slowdown);
   std::printf("daily slowdown peak: static %.0f vs SD %.0f (%.0f%% reduction)\n", base_peak,
               sd_peak, base_peak > 0 ? 100.0 * (1.0 - sd_peak / base_peak) : 0.0);
+
+  const std::vector<SweepRow> rows = {
+      {"W4/MAXSD 10", "W4/baseline", "W4", "MAXSD 10", 0,
+       normalize(sd.summary, base.summary)},
+  };
+  write_bench_json(ctx.json_path, "Figure 7", ctx, exec, rows);
   return 0;
 }

@@ -12,22 +12,29 @@ int main(int argc, char** argv) {
                "(W1), +3.5% (W3), +1% (W4); makespan +9% (W3); W2 unaffected; "
                "all still beat static backfill");
 
-  AsciiTable table({"workload", "model", "makespan", "avg response", "avg slowdown"});
+  // The grid as data: per workload one baseline plus SD DynAVGSD under each
+  // execution model, all twelve simulations in one parallel sweep.
+  GridBuilder grid;
   for (const int which : {1, 2, 3, 4}) {
     const PaperWorkload pw = load_workload(which, ctx);
-    const SimulationReport base = run_single(pw, baseline_config(pw.machine));
+    grid.baseline(pw.label + "/baseline", pw.workload, baseline_config(pw.machine));
     for (const RuntimeModelKind model :
          {RuntimeModelKind::Ideal, RuntimeModelKind::WorstCase}) {
-      const SimulationReport report =
-          run_single(pw, sd_config(pw.machine, CutoffConfig::dynamic_avg(), model));
-      const NormalizedMetrics norm = normalize(report.summary, base.summary);
-      table.add_row({pw.label, to_string(model), AsciiTable::num(norm.makespan, 3),
-                     AsciiTable::num(norm.avg_response, 3),
-                     AsciiTable::num(norm.avg_slowdown, 3)});
+      grid.variant(pw.label, to_string(model), 0, pw.workload,
+                   sd_config(pw.machine, CutoffConfig::dynamic_avg(), model));
     }
+  }
+  const SweepExecution exec = grid.run(ctx);
+
+  AsciiTable table({"workload", "model", "makespan", "avg response", "avg slowdown"});
+  for (const SweepRow& row : grid.rows) {
+    table.add_row({row.workload, row.variant, AsciiTable::num(row.normalized.makespan, 3),
+                   AsciiTable::num(row.normalized.avg_response, 3),
+                   AsciiTable::num(row.normalized.avg_slowdown, 3)});
   }
   std::printf("\nnormalized to static backfill (<1: SD wins; worst-case rows "
               "should sit at or above the ideal rows):\n\n");
   table.print();
+  write_bench_json(ctx.json_path, "Figure 8", ctx, exec, grid.rows);
   return 0;
 }

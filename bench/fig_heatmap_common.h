@@ -1,7 +1,8 @@
 // Shared driver for Figures 4-6: the W4 category heatmaps. Runs static
-// backfill and SD-Policy MAXSD 10 on the Curie-like workload, buckets jobs
-// by (requested nodes x runtime) and prints the static/SD ratio per cell
-// (>1 = SD-Policy improved that category).
+// backfill and SD-Policy MAXSD 10 on the Curie-like workload — two cells of
+// one sweep, sharing the workload storage — buckets jobs by (requested
+// nodes x runtime) and prints the static/SD ratio per cell (>1 = SD-Policy
+// improved that category).
 #pragma once
 
 #include <functional>
@@ -18,9 +19,13 @@ inline int run_heatmap_figure(int argc, char** argv, const char* fig_id, const c
   print_banner(fig_id, metric_name, paper_note);
 
   const PaperWorkload pw = load_workload(4, ctx);
-  const SimulationReport base = run_single(pw, baseline_config(pw.machine));
-  const SimulationReport sd =
-      run_single(pw, sd_config(pw.machine, CutoffConfig::max_sd(10.0)));
+  const std::vector<SweepCell> cells = {
+      {"W4/baseline", pw.workload, baseline_config(pw.machine)},
+      {"W4/MAXSD 10", pw.workload, sd_config(pw.machine, CutoffConfig::max_sd(10.0))},
+  };
+  const SweepExecution exec = run_cells(cells, ctx);
+  const SimulationReport& base = exec.results[0].report;
+  const SimulationReport& sd = exec.results[1].report;
 
   CategoryHeatmap base_map;
   CategoryHeatmap sd_map;
@@ -33,6 +38,12 @@ inline int run_heatmap_figure(int argc, char** argv, const char* fig_id, const c
 
   std::printf("\njobs per category:\n\n");
   std::fputs(base_map.render_counts().c_str(), stdout);
+
+  const std::vector<SweepRow> rows = {
+      {"W4/MAXSD 10", "W4/baseline", "W4", "MAXSD 10", 0,
+       normalize(sd.summary, base.summary)},
+  };
+  write_bench_json(ctx.json_path, fig_id, ctx, exec, rows);
   return 0;
 }
 

@@ -1,6 +1,8 @@
 // Shared driver for Figures 1-3: the MAX_SLOWDOWN sweep over workloads 1-4
 // (SharingFactor 0.5, ideal runtime model), each metric normalized to the
 // static-backfill baseline. One figure binary per metric, as in the paper.
+// The whole grid — 4 workloads x (baseline + 5 cut-off variants), times any
+// --seeds replications — runs as one parallel sweep.
 #pragma once
 
 #include <functional>
@@ -15,18 +17,22 @@ inline int run_maxsd_figure(int argc, char** argv, const char* fig_id, const cha
   const BenchContext ctx = BenchContext::from_args(argc, argv);
   print_banner(fig_id, metric_name, paper_note);
 
-  const auto rows = run_maxsd_sweep({1, 2, 3, 4}, ctx);
+  // --workloads=1,3 restricts the grid (CI smoke, single-workload runs).
+  const CliArgs args(argc, argv);
+  const std::vector<int> workloads =
+      parse_workload_list(args.get_or("workloads", ""), {1, 2, 3, 4});
+  const MaxsdSweepOutput sweep = run_maxsd_sweep(workloads, ctx);
 
   std::vector<std::string> header{"workload"};
   for (const auto& variant : maxsd_sweep()) header.push_back(variant.label);
   AsciiTable table(header);
 
-  const char* labels[] = {"W1", "W2", "W3", "W4"};
-  for (const char* wl : labels) {
+  for (const int which : workloads) {
+    const std::string wl = "W" + std::to_string(which);
     std::vector<std::string> row{wl};
     for (const auto& variant : maxsd_sweep()) {
-      for (const auto& r : rows) {
-        if (r.workload == wl && r.variant == variant.label) {
+      for (const auto& r : sweep.rows) {
+        if (r.rep == 0 && r.workload == wl && r.variant == variant.label) {
           row.push_back(AsciiTable::num(metric(r.normalized), 3));
         }
       }
@@ -36,6 +42,11 @@ inline int run_maxsd_figure(int argc, char** argv, const char* fig_id, const cha
   std::printf("\n%s, normalized to static backfill (<1 means SD-Policy wins):\n\n",
               metric_name);
   table.print();
+  if (ctx.seed_reps > 1) {
+    std::printf("\n(table shows seed rep 0 of %d; all reps are in the JSON output)\n",
+                ctx.seed_reps);
+  }
+  write_bench_json(ctx.json_path, fig_id, ctx, sweep.exec, sweep.rows);
   return 0;
 }
 

@@ -32,14 +32,25 @@ int main(int argc, char** argv) {
       {"Cirne_real_run", 56482, 4783.1, 159313},
   };
 
+  // All five baseline simulations as one parallel sweep; workload
+  // characterization happens on the shared storage afterwards.
+  std::vector<SweepCell> cells;
+  std::vector<PaperWorkload> workloads;
+  for (int which = 1; which <= 5; ++which) {
+    workloads.push_back(load_workload(which, ctx));
+    const PaperWorkload& pw = workloads.back();
+    SimulationConfig cfg = baseline_config(pw.machine);
+    cfg.use_app_model = (which == 5);
+    cells.push_back({pw.label + "/baseline", pw.workload, cfg});
+  }
+  const SweepExecution exec = run_cells(cells, ctx);
+
   AsciiTable table({"ID", "log/model", "#jobs", "system (n/c)", "max job (n/c)",
                     "avg resp (s)", "avg sld", "makespan (s)", "paper resp/sld/mk"});
   for (int which = 1; which <= 5; ++which) {
-    const PaperWorkload pw = load_workload(which, ctx);
+    const PaperWorkload& pw = workloads[which - 1];
     const WorkloadStats stats = characterize(pw.workload);
-    SimulationConfig cfg = baseline_config(pw.machine);
-    cfg.use_app_model = (which == 5);
-    const SimulationReport report = run_single(pw, cfg);
+    const SimulationReport& report = exec.results[which - 1].report;
     const PaperRow& p = paper[which - 1];
     table.add_row({std::to_string(which), p.log, std::to_string(stats.n_jobs),
                    std::to_string(stats.system_nodes) + "/" + std::to_string(stats.system_cores),
@@ -53,5 +64,6 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nNote: paper columns are full-scale; run with --full to compare "
               "absolute magnitudes.\n");
+  write_bench_json(ctx.json_path, "Table 1", ctx, exec);
   return 0;
 }

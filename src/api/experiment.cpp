@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "api/sweep.h"
 #include "metrics/summary.h"
 #include "util/cli.h"
 #include "workload/app_profiles.h"
@@ -88,6 +89,10 @@ PaperWorkload paper_workload(int which, double scale, std::uint64_t seed) {
       pw.workload.info().name = "cirne-real-run";
       assign_applications(pw.workload, config.seed + 100);
       pw.machine = machine_of(config.system_nodes, 2, 24);
+      // assign_applications mutated the job list; re-prepare here (cheap,
+      // idempotent) so every downstream Simulation shares the storage.
+      pw.workload.prepare_for(pw.machine.nodes,
+                              pw.machine.node.sockets * pw.machine.node.cores_per_socket);
       return pw;
     }
     default:
@@ -113,24 +118,32 @@ SimulationConfig sd_config(const MachineConfig& machine, CutoffConfig cutoff,
 }
 
 SimulationReport run_single(const PaperWorkload& pw, const SimulationConfig& cfg) {
-  Simulation sim(cfg, pw.workload);
-  return sim.run();
+  // A one-cell sweep run inline on the calling thread. Move the report out —
+  // its records vector can hold hundreds of thousands of entries.
+  auto results = SweepRunner(1).run({SweepCell{pw.label, pw.workload, cfg}});
+  return std::move(results.front().report);
 }
 
 ExperimentResult compare(const PaperWorkload& pw, const SimulationConfig& policy_cfg) {
-  ExperimentResult result;
   SimulationConfig base = baseline_config(policy_cfg.machine);
   base.execution_model = policy_cfg.execution_model;
   base.use_app_model = policy_cfg.use_app_model;
   base.bw_capacity_per_socket = policy_cfg.bw_capacity_per_socket;
   base.sched = policy_cfg.sched;
-  result.baseline = run_single(pw, base);
-  result.policy = run_single(pw, policy_cfg);
+  // Both cells share pw.workload's job storage and run concurrently (two
+  // independent simulations; one worker each).
+  auto results = SweepRunner(2).run({SweepCell{pw.label + "/baseline", pw.workload, base},
+                                     SweepCell{pw.label + "/policy", pw.workload, policy_cfg}});
+  ExperimentResult result;
+  result.baseline = std::move(results[0].report);
+  result.policy = std::move(results[1].report);
   result.normalized = normalize(result.policy.summary, result.baseline.summary);
   return result;
 }
 
 const std::vector<CutoffVariant>& maxsd_sweep() {
+  // Magic-static init is thread-safe (C++11) and the vector is immutable
+  // afterwards, so concurrent sweep workers may read it freely.
   static const std::vector<CutoffVariant> sweep = {
       {"MAXSD 5", CutoffConfig::max_sd(5.0)},
       {"MAXSD 10", CutoffConfig::max_sd(10.0)},

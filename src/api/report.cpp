@@ -12,4 +12,28 @@ std::string SimulationReport::brief() const {
   return oss.str();
 }
 
+void SimulationReport::to_json(JsonWriter& json) const {
+  json.begin_object();
+  json.field("policy", policy);
+  json.field("workload", workload);
+  json.key("summary");
+  sdsched::to_json(json, summary);
+  json.key("counters");
+  json.begin_object();
+  json.field("events_fired", events_fired);
+  json.field("scheduling_passes", scheduling_passes);
+  json.field("malleable_starts", malleable_starts);
+  json.field("drom_shrink_ops", drom_shrink_ops);
+  json.field("drom_expand_ops", drom_expand_ops);
+  json.field("cancelled_jobs", cancelled_jobs);
+  json.end_object();
+  json.end_object();
+}
+
+std::string SimulationReport::json() const {
+  JsonWriter writer;
+  to_json(writer);
+  return writer.str();
+}
+
 }  // namespace sdsched

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "metrics/collector.h"
+#include "util/json.h"
 
 namespace sdsched {
 
@@ -25,6 +26,15 @@ struct SimulationReport {
   std::uint64_t cancelled_jobs = 0;
 
   [[nodiscard]] std::string brief() const;
+
+  /// Serialize as a JSON object (summary and counters; per-job records are
+  /// deliberately omitted — they can be hundreds of thousands of entries).
+  void to_json(JsonWriter& json) const;
+
+  /// The to_json document as a standalone string — the canonical
+  /// machine-readable form, also used to byte-compare reports in the sweep
+  /// determinism test.
+  [[nodiscard]] std::string json() const;
 };
 
 }  // namespace sdsched

@@ -17,6 +17,9 @@ Simulation::Simulation(SimulationConfig config, Workload workload)
       machine_(config.machine),
       node_mgr_(machine_, jobs_, drom_),
       tracker_(config.execution_model) {
+  // Already-prepared workloads (the generators and SweepRunner prepare once)
+  // stay shared — no per-simulation deep copy; anything else gets a private
+  // prepared copy, exactly as before.
   workload_.prepare_for(config_.machine.nodes, machine_.cores_per_node());
   for (const auto& spec : workload_.jobs()) {
     jobs_.add(spec);
@@ -39,6 +42,10 @@ Simulation::Simulation(SimulationConfig config, Workload workload)
       scheduler_ = std::make_unique<SdPolicyScheduler>(machine_, jobs_, *this,
                                                        config_.sched, config_.sd);
       break;
+  }
+  if (!scheduler_) {
+    throw std::invalid_argument("Simulation: unknown PolicyKind " +
+                                std::to_string(static_cast<int>(config_.policy)));
   }
   if (predictor_) {
     scheduler_->set_runtime_predictor(&*predictor_);
@@ -214,9 +221,7 @@ SimulationReport Simulation::run() {
   report.malleable_starts = malleable_starts_;
   report.drom_shrink_ops = drom_.shrink_ops();
   report.drom_expand_ops = drom_.expand_ops();
-  if (const auto* backfill = dynamic_cast<const BackfillScheduler*>(scheduler_.get())) {
-    report.cancelled_jobs = backfill->cancelled_jobs();
-  }
+  scheduler_->annotate(report);
   log_info("sim", report.brief());
   return report;
 }

@@ -1,0 +1,94 @@
+#include "api/sweep.h"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace sdsched {
+
+namespace {
+
+SweepResult run_cell(const SweepCell& cell) {
+  const auto start = std::chrono::steady_clock::now();
+  SweepResult result;
+  result.name = cell.name;
+  result.report = Simulation(cell.config, cell.workload).run();
+  result.wall_seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace
+
+std::size_t SweepRunner::effective_jobs(std::size_t cells) const noexcept {
+  const std::size_t requested =
+      jobs_ == 0 ? ThreadPool::default_concurrency() : static_cast<std::size_t>(jobs_);
+  return cells < requested ? (cells == 0 ? 1 : cells) : requested;
+}
+
+std::vector<SweepResult> SweepRunner::run(const std::vector<SweepCell>& cells) const {
+  std::unordered_set<std::string> names;
+  for (const auto& cell : cells) {
+    if (cell.name.empty()) {
+      throw std::invalid_argument("SweepRunner: cell with empty name");
+    }
+    if (!names.insert(cell.name).second) {
+      throw std::invalid_argument("SweepRunner: duplicate cell name '" + cell.name + "'");
+    }
+  }
+
+  std::vector<SweepResult> results(cells.size());
+  const std::size_t workers = effective_jobs(cells.size());
+  log_debug("sweep", cells.size(), " cells on ", workers, " worker(s)");
+
+  // Both paths honour the documented contract: every cell runs, then the
+  // first failure (in input order for the serial path) is rethrown.
+  std::exception_ptr first_error;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      try {
+        results[i] = run_cell(cells[i]);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  } else {
+    ThreadPool pool(workers);
+    std::vector<std::future<void>> pending;
+    pending.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      pending.push_back(pool.submit([&cells, &results, i] {
+        results[i] = run_cell(cells[i]);
+      }));
+    }
+    // Wait for *every* cell before propagating the first failure, so no task
+    // still references cells/results when we unwind.
+    for (auto& future : pending) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::uint64_t SweepRunner::cell_seed(std::uint64_t base, std::size_t index) noexcept {
+  // SplitMix64 finalizer over the (base, index) pair.
+  std::uint64_t x = base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 0x9e3779b97f4a7c15ULL : x;
+}
+
+}  // namespace sdsched

@@ -36,6 +36,10 @@ struct JobRecord {
     const auto denom = static_cast<double>(std::max(base_runtime, threshold));
     return std::max(1.0, static_cast<double>(response()) / denom);
   }
+
+  /// Field-wise equality (sweep determinism checks compare whole record
+  /// vectors, not just aggregate summaries).
+  friend bool operator==(const JobRecord&, const JobRecord&) = default;
 };
 
 struct MetricsSummary {

@@ -17,6 +17,23 @@ std::string to_string(const MetricsSummary& summary) {
   return oss.str();
 }
 
+void to_json(JsonWriter& json, const MetricsSummary& summary) {
+  json.begin_object();
+  json.field("jobs", summary.jobs);
+  json.field("first_submit", summary.first_submit);
+  json.field("last_end", summary.last_end);
+  json.field("makespan", summary.makespan);
+  json.field("avg_response", summary.avg_response);
+  json.field("avg_wait", summary.avg_wait);
+  json.field("avg_slowdown", summary.avg_slowdown);
+  json.field("avg_bounded_slowdown", summary.avg_bounded_slowdown);
+  json.field("energy_kwh", summary.energy_kwh);
+  json.field("utilization", summary.utilization);
+  json.field("guests", summary.guests);
+  json.field("mates", summary.mates);
+  json.end_object();
+}
+
 namespace {
 double safe_ratio(double a, double b) noexcept { return b > 0.0 ? a / b : 1.0; }
 }  // namespace
@@ -31,6 +48,16 @@ NormalizedMetrics normalize(const MetricsSummary& policy,
   norm.avg_wait = safe_ratio(policy.avg_wait, baseline.avg_wait);
   norm.energy = safe_ratio(policy.energy_kwh, baseline.energy_kwh);
   return norm;
+}
+
+void to_json(JsonWriter& json, const NormalizedMetrics& normalized) {
+  json.begin_object();
+  json.field("makespan", normalized.makespan);
+  json.field("avg_response", normalized.avg_response);
+  json.field("avg_slowdown", normalized.avg_slowdown);
+  json.field("avg_wait", normalized.avg_wait);
+  json.field("energy", normalized.energy);
+  json.end_object();
 }
 
 }  // namespace sdsched

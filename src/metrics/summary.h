@@ -1,13 +1,18 @@
-// Human-readable rendering of MetricsSummary and normalized comparisons.
+// Human-readable and machine-readable rendering of MetricsSummary and
+// normalized comparisons.
 #pragma once
 
 #include <string>
 
 #include "metrics/collector.h"
+#include "util/json.h"
 
 namespace sdsched {
 
 [[nodiscard]] std::string to_string(const MetricsSummary& summary);
+
+/// Serialize as a JSON object at the writer's current value position.
+void to_json(JsonWriter& json, const MetricsSummary& summary);
 
 /// Normalized view of `policy` against `baseline` (the paper reports most
 /// results "normalized to static backfill"). Values are policy/baseline;
@@ -22,5 +27,8 @@ struct NormalizedMetrics {
 
 [[nodiscard]] NormalizedMetrics normalize(const MetricsSummary& policy,
                                           const MetricsSummary& baseline) noexcept;
+
+/// Serialize as a JSON object at the writer's current value position.
+void to_json(JsonWriter& json, const NormalizedMetrics& normalized);
 
 }  // namespace sdsched

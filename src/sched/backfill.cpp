@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "api/report.h"
 #include "util/logging.h"
 
 namespace sdsched {
@@ -10,6 +11,10 @@ namespace sdsched {
 bool BackfillScheduler::try_malleable(SimTime /*now*/, Job& /*job*/, SimTime /*est_start*/,
                                       ReservationProfile& /*profile*/) {
   return false;  // static baseline: no malleability
+}
+
+void BackfillScheduler::annotate(SimulationReport& report) const {
+  report.cancelled_jobs = cancelled_;
 }
 
 ReservationProfile BackfillScheduler::build_profile(SimTime now) const {

@@ -24,6 +24,7 @@ class BackfillScheduler : public Scheduler {
 
   void schedule_pass(SimTime now) override;
   [[nodiscard]] const char* name() const noexcept override { return "backfill"; }
+  void annotate(SimulationReport& report) const override;
 
   /// Jobs dropped because they can never fit the machine.
   [[nodiscard]] std::uint64_t cancelled_jobs() const noexcept { return cancelled_; }

@@ -20,6 +20,8 @@
 
 namespace sdsched {
 
+struct SimulationReport;
+
 /// A fully costed malleable co-scheduling decision (MateSelector output).
 struct MatePlan {
   std::vector<SharePlan> nodes;         ///< per-node placement actions
@@ -75,6 +77,11 @@ class Scheduler {
   [[nodiscard]] const WaitQueue& queue() const noexcept { return queue_; }
   [[nodiscard]] const SchedConfig& config() const noexcept { return config_; }
   [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Contribute policy-specific statistics to the final report (e.g.
+  /// backfill's cancelled-job count). Called once by Simulation::run() so
+  /// the kernel needs no RTTI on concrete scheduler types.
+  virtual void annotate(SimulationReport& /*report*/) const {}
 
   /// Install an online runtime predictor (paper future work #2); the
   /// scheduler then plans with predictions instead of raw user requests.

@@ -1,0 +1,131 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace sdsched {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent(std::size_t depth) {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(depth * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::prepare_for_value() {
+  assert(!done_ && "JsonWriter: document already complete");
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": <here>
+  }
+  if (stack_.empty()) return;  // bare top-level value
+  Frame& frame = stack_.back();
+  assert(frame.closer == ']' && "JsonWriter: object member without key()");
+  if (!frame.empty) out_ += ',';
+  frame.empty = false;
+  newline_indent(stack_.size());
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back().closer == '}' &&
+         "JsonWriter: key() outside an object");
+  assert(!pending_key_ && "JsonWriter: key() after key()");
+  Frame& frame = stack_.back();
+  if (!frame.empty) out_ += ',';
+  frame.empty = false;
+  newline_indent(stack_.size());
+  out_ += '"';
+  out_ += escape(name);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::open(char opener, char closer) {
+  prepare_for_value();
+  out_ += opener;
+  stack_.push_back(Frame{closer, true});
+}
+
+void JsonWriter::close(char closer) {
+  assert(!stack_.empty() && stack_.back().closer == closer &&
+         "JsonWriter: mismatched close");
+  assert(!pending_key_ && "JsonWriter: dangling key()");
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent(stack_.size());
+  out_ += closer;
+  if (stack_.empty()) done_ = true;
+  (void)closer;
+}
+
+void JsonWriter::write_scalar(std::string_view text) {
+  prepare_for_value();
+  out_ += text;
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  std::string quoted;
+  quoted.reserve(v.size() + 2);
+  quoted += '"';
+  quoted += escape(v);
+  quoted += '"';
+  write_scalar(quoted);
+}
+
+void JsonWriter::value(bool v) { write_scalar(v ? "true" : "false"); }
+
+void JsonWriter::value(double v) {
+  if (!std::isfinite(v)) {
+    value_null();
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  assert(ec == std::errc());
+  (void)ec;
+  write_scalar(std::string_view(buf, static_cast<std::size_t>(end - buf)));
+}
+
+const std::string& JsonWriter::str() const {
+  assert(stack_.empty() && done_ && "JsonWriter: document incomplete");
+  return out_;
+}
+
+void write_text_file(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.put('\n');
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace sdsched

@@ -1,0 +1,98 @@
+// Minimal JSON writer for machine-readable bench/report output.
+//
+// Streaming, stack-based: begin_object()/key()/value()/end_object() appends
+// to an internal buffer; str() returns the finished document. Strings are
+// escaped per RFC 8259; doubles are printed with the shortest round-trip
+// representation (std::to_chars) so that re-parsing yields the exact bits,
+// which also makes serialized reports byte-comparable — the sweep
+// determinism test relies on that. Non-finite doubles become null (JSON has
+// no NaN/Inf).
+//
+// Usage:
+//   JsonWriter json;
+//   json.begin_object();
+//   json.field("policy", "backfill");
+//   json.field("makespan", 899888.0);
+//   json.key("cells");
+//   json.begin_array();
+//   ...
+//   json.end_array();
+//   json.end_object();
+//   write_text_file(path, json.str());
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace sdsched {
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  void begin_object() { open('{', '}'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('[', ']'); }
+  void end_array() { close(']'); }
+
+  /// Member name inside an object; must be followed by exactly one value or
+  /// begin_object/begin_array.
+  void key(std::string_view name);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(const std::string& v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  void value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      write_scalar(std::to_string(static_cast<std::int64_t>(v)));
+    } else {
+      write_scalar(std::to_string(static_cast<std::uint64_t>(v)));
+    }
+  }
+  void value_null() { write_scalar("null"); }
+
+  /// key() + value() in one call.
+  template <typename T>
+  void field(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// The finished document. All scopes must be closed.
+  [[nodiscard]] const std::string& str() const;
+
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  struct Frame {
+    char closer;            ///< '}' or ']'
+    bool empty = true;      ///< no members/elements written yet
+  };
+
+  void open(char opener, char closer);
+  void close(char closer);
+  /// Emit separator/indentation for the next value position, honouring a
+  /// pending key.
+  void prepare_for_value();
+  void write_scalar(std::string_view text);
+  void newline_indent(std::size_t depth);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  int indent_;
+  bool pending_key_ = false;
+  bool done_ = false;  ///< a complete top-level value has been written
+};
+
+/// Write `text` to `path`, throwing std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, std::string_view text);
+
+}  // namespace sdsched

@@ -6,6 +6,7 @@
 // are not spammed; benches and examples raise the level explicitly.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -15,22 +16,26 @@ namespace sdsched {
 
 enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
-/// Global logger. Writes to stderr; level-filtered.
+/// Global logger. Writes to stderr; level-filtered. The level is atomic and
+/// the sink is mutex-guarded so concurrent Simulations (sweep workers) can
+/// log — and a driver can adjust verbosity — without data races.
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(this->level());
   }
 
   void write(LogLevel level, std::string_view component, std::string_view message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::Warn;
+  std::atomic<LogLevel> level_{LogLevel::Warn};
   std::mutex mutex_;
 };
 

@@ -5,6 +5,8 @@
 namespace sdsched {
 
 const std::vector<ApplicationProfile>& table2_profiles() {
+  // Magic-static init is thread-safe (C++11) and the vector is immutable
+  // afterwards, so concurrent sweep workers may read it freely.
   // Shares from Table 2; behavioural constants chosen per the paper's
   // descriptions: PILS compute-bound/low-memory, STREAM memory-bound with
   // poor core scaling, the simulators compute-heavy with moderate bandwidth
@@ -33,7 +35,7 @@ void assign_applications(Workload& workload, std::uint64_t seed) {
   std::vector<double> weights;
   weights.reserve(profiles.size());
   for (const auto& p : profiles) weights.push_back(p.workload_share);
-  for (auto& spec : workload.jobs()) {
+  for (auto& spec : workload.mutable_jobs()) {
     spec.app_profile = static_cast<int>(rng.weighted_index(weights));
   }
 }

@@ -4,23 +4,42 @@
 
 namespace sdsched {
 
+const std::vector<JobSpec>& Workload::jobs() const noexcept {
+  static const std::vector<JobSpec> kEmpty;
+  return jobs_ ? *jobs_ : kEmpty;
+}
+
+std::vector<JobSpec>& Workload::detach() {
+  prepared_ = false;
+  if (!jobs_ || jobs_.use_count() > 1) {
+    jobs_ = jobs_ ? std::make_shared<std::vector<JobSpec>>(*jobs_)
+                  : std::make_shared<std::vector<JobSpec>>();
+  }
+  // Exclusively owned here, and every pointee is created via
+  // make_shared<std::vector<...>> (non-const object), so shedding the const
+  // view is defined behaviour.
+  return const_cast<std::vector<JobSpec>&>(*jobs_);
+}
+
 void Workload::normalize() {
-  std::stable_sort(jobs_.begin(), jobs_.end(), [](const JobSpec& a, const JobSpec& b) {
+  auto& jobs = detach();
+  std::stable_sort(jobs.begin(), jobs.end(), [](const JobSpec& a, const JobSpec& b) {
     return a.submit != b.submit ? a.submit < b.submit : a.id < b.id;
   });
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    jobs_[i].id = static_cast<JobId>(i);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
   }
 }
 
 std::size_t Workload::prepare_for(int system_nodes, int cores_per_node) {
+  if (prepared_for(system_nodes, cores_per_node)) return 0;
   info_.system_nodes = system_nodes;
   info_.cores_per_node = cores_per_node;
   const int max_cpus = system_nodes * cores_per_node;
   std::vector<JobSpec> kept;
-  kept.reserve(jobs_.size());
+  kept.reserve(size());
   std::size_t dropped = 0;
-  for (JobSpec spec : jobs_) {
+  for (JobSpec spec : jobs()) {
     if (spec.base_runtime <= 0 || spec.req_cpus <= 0) {
       ++dropped;
       continue;
@@ -32,23 +51,25 @@ std::size_t Workload::prepare_for(int system_nodes, int cores_per_node) {
     spec.ranks_per_node = std::max(1, std::min(spec.ranks_per_node, cores_per_node));
     kept.push_back(spec);
   }
-  jobs_ = std::move(kept);
+  detach() = std::move(kept);
   normalize();
+  prepared_ = true;
   return dropped;
 }
 
 double Workload::total_work_core_seconds() const noexcept {
   double total = 0.0;
-  for (const auto& spec : jobs_) {
+  for (const auto& spec : jobs()) {
     total += static_cast<double>(spec.base_runtime) * static_cast<double>(spec.req_cpus);
   }
   return total;
 }
 
 double Workload::offered_load(int total_cores) const noexcept {
-  if (jobs_.empty() || total_cores <= 0) return 0.0;
+  const auto& jobs = this->jobs();
+  if (jobs.empty() || total_cores <= 0) return 0.0;
   const auto [min_it, max_it] =
-      std::minmax_element(jobs_.begin(), jobs_.end(), [](const JobSpec& a, const JobSpec& b) {
+      std::minmax_element(jobs.begin(), jobs.end(), [](const JobSpec& a, const JobSpec& b) {
         return a.submit < b.submit;
       });
   const auto span = static_cast<double>(max_it->submit - min_it->submit);

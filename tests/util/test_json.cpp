@@ -1,0 +1,88 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace sdsched {
+namespace {
+
+TEST(JsonWriter, CompactObjectAndArray) {
+  JsonWriter json(0);
+  json.begin_object();
+  json.field("name", "W1/baseline");
+  json.field("jobs", 150);
+  json.field("ok", true);
+  json.key("ratios");
+  json.begin_array();
+  json.value(0.5);
+  json.value(1.0);
+  json.end_array();
+  json.key("empty");
+  json.begin_object();
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"W1/baseline","jobs":150,"ok":true,"ratios":[0.5,1],"empty":{}})");
+}
+
+TEST(JsonWriter, PrettyPrintsWithIndent) {
+  JsonWriter json(2);
+  json.begin_object();
+  json.field("a", 1);
+  json.key("b");
+  json.begin_array();
+  json.value(2);
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(JsonWriter, NumbersRoundTripAndNonFiniteBecomeNull) {
+  JsonWriter json(0);
+  json.begin_array();
+  json.value(0.1);
+  json.value(1.0 / 3.0);
+  json.value(std::nan(""));
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::int64_t{-42});
+  json.value(std::uint64_t{18446744073709551615ULL});
+  json.end_array();
+  const std::string out = json.str();
+  // Shortest round-trip formatting: re-parsing must give the exact value.
+  EXPECT_NE(out.find("0.1,"), std::string::npos);
+  EXPECT_NE(out.find("0.3333333333333333"), std::string::npos);
+  EXPECT_NE(out.find("null,null"), std::string::npos);
+  EXPECT_NE(out.find("-42"), std::string::npos);
+  EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+  EXPECT_DOUBLE_EQ(std::stod(out.substr(1)), 0.1);
+}
+
+TEST(JsonWriter, TopLevelScalar) {
+  JsonWriter json;
+  json.value("just a string");
+  EXPECT_EQ(json.str(), "\"just a string\"");
+}
+
+TEST(JsonWriter, WriteTextFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "sdsched_json_test.json";
+  write_text_file(path, "{\"x\": 1}");
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\"x\": 1}\n");
+  EXPECT_THROW(write_text_file("/nonexistent-dir/impossible.json", "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sdsched

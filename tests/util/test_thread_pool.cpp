@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <semaphore>
+#include <stdexcept>
+#include <vector>
+
+namespace sdsched {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  int total = 0;
+  for (auto& f : futures) total += f.get();
+  int expected = 0;
+  for (int i = 0; i < 32; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("cell failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RunsTasksConcurrently) {
+  // Two tasks that each wait for the other to start can only finish if the
+  // pool really has two workers (preemption makes this safe on any core
+  // count).
+  ThreadPool pool(2);
+  std::binary_semaphore a_started{0};
+  std::binary_semaphore b_started{0};
+  auto a = pool.submit([&] {
+    a_started.release();
+    b_started.acquire();
+    return 1;
+  });
+  auto b = pool.submit([&] {
+    b_started.release();
+    a_started.acquire();
+    return 2;
+  });
+  ASSERT_EQ(a.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(a.get() + b.get(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::future<void> last;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      last = pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor must run every queued task before joining
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(last.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+  ThreadPool pool;  // 0 = default
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sdsched
