@@ -1,13 +1,32 @@
 // google-benchmark micro benchmarks for the scheduler machinery: event
 // queue throughput, reservation-profile queries, backfill pass cost, mate
 // selection, and whole-simulation throughput per policy.
+//
+// A second mode, `--pass-metrics` (with optional `--json=<path>` and
+// `--passes=<n>`), bypasses google-benchmark and runs the incremental-state
+// study: per-scheduling-pass p50/p95 latency and profile breakpoint counts
+// across machine sizes, for the event-driven index (steady and churning
+// clusters) against the historical full-scan rebuild. The JSON lands in the
+// same `sdsched-bench-v1` document family the figure benches emit; CI's
+// bench-smoke job uploads it next to bench.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
 #include "api/simulation.h"
+#include "cluster/cluster_state_index.h"
 #include "core/mate_selector.h"
 #include "drom/node_manager.h"
+#include "sched/backfill.h"
 #include "sched/reservation.h"
 #include "sim/event_queue.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/stats.h"
 #include "workload/cirne.h"
 
 namespace {
@@ -119,6 +138,183 @@ BENCHMARK(BM_WholeSimulation)
     ->Arg(static_cast<int>(PolicyKind::SdPolicy))
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --pass-metrics: the O(dirty) demonstration.
+// ---------------------------------------------------------------------------
+
+/// Starts never fire in this study (the machine is kept full); fail loudly
+/// if a pass decides otherwise.
+class NoStartExecutor final : public StartExecutor {
+ public:
+  void start_static(JobId, const std::vector<int>&) override { std::abort(); }
+  void start_guest(JobId, const MatePlan&) override { std::abort(); }
+};
+
+struct PassStats {
+  std::string label;
+  int nodes = 0;
+  int passes = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  std::size_t breakpoints = 0;
+  std::uint64_t profile_reuses = 0;
+  std::uint64_t profile_rebuilds = 0;
+};
+
+/// A full cluster with few distinct release times (8 groups) plus a queue
+/// that cannot start: every pass re-derives reservations only. `churn`
+/// replaces one node's occupant per pass (the dirty case); `use_index`
+/// false runs the historical full-scan rebuild for comparison.
+PassStats run_pass_study(const char* label, int node_count, int passes, bool use_index,
+                         bool churn) {
+  MachineConfig mc;
+  mc.nodes = node_count;
+  mc.node = NodeConfig{2, 24};
+  Machine machine(mc);
+  JobRegistry jobs;
+  DromRegistry drom;
+  NodeManager mgr(machine, jobs, drom);
+  ClusterStateIndex index(machine, jobs);
+  NoStartExecutor executor;
+  BackfillScheduler scheduler(machine, jobs, executor, SchedConfig{});
+  if (use_index) scheduler.set_cluster_index(&index);
+
+  const auto add_running = [&](SimTime predicted_end) {
+    JobSpec spec;
+    spec.req_cpus = machine.cores_per_node();
+    spec.req_nodes = 1;
+    spec.req_time = 1000000;
+    spec.base_runtime = 1000000;
+    const JobId id = jobs.add(spec);
+    jobs.at(id).state = JobState::Running;
+    jobs.at(id).predicted_end = predicted_end;
+    return id;
+  };
+  // Fill every node; occupants release in 8 waves far in the future.
+  std::vector<JobId> occupant(static_cast<std::size_t>(node_count));
+  for (int n = 0; n < node_count; ++n) {
+    const JobId id = add_running(1000000 + (n % 8) * 1000);
+    mgr.start_static(0, id, {n});
+    occupant[static_cast<std::size_t>(n)] = id;
+  }
+  // Waiting jobs that cannot start before the waves release.
+  for (int q = 0; q < 16; ++q) {
+    JobSpec spec;
+    spec.submit = 0;
+    spec.req_cpus = (node_count / 2) * machine.cores_per_node();
+    spec.req_nodes = node_count / 2;
+    spec.req_time = 3600;
+    spec.base_runtime = 3600;
+    const JobId id = jobs.add(spec);
+    scheduler.on_submit(id);
+  }
+
+  std::vector<double> latencies_ns;
+  latencies_ns.reserve(static_cast<std::size_t>(passes));
+  SimTime now = 1;
+  int churn_cursor = 0;
+  for (int p = 0; p < passes; ++p, ++now) {
+    if (churn && p > 0) {
+      // One node changes occupant between passes: the index hears two
+      // notifications; everything else is untouched.
+      const int node = churn_cursor++ % node_count;
+      JobId& slot = occupant[static_cast<std::size_t>(node)];
+      jobs.at(slot).state = JobState::Completed;
+      mgr.finish_job(now, slot);
+      slot = add_running(1000000 + (churn_cursor % 8) * 1000);
+      mgr.start_static(now, slot, {node});
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    scheduler.schedule_pass(now);
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_ns.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+
+  PassStats stats;
+  stats.label = label;
+  stats.nodes = node_count;
+  stats.passes = passes;
+  stats.p50_ns = percentile_of(latencies_ns, 0.50);
+  stats.p95_ns = percentile_of(latencies_ns, 0.95);
+  stats.breakpoints = scheduler.profile_breakpoints();
+  stats.profile_reuses = scheduler.profile_reuses();
+  stats.profile_rebuilds = scheduler.profile_rebuilds();
+  return stats;
+}
+
+int run_pass_metrics(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int passes = static_cast<int>(args.get_int("passes", 2000));
+  const std::string json_path = args.get_or("json", "");
+
+  std::printf("scheduling-pass latency (full machine, 8 release waves, 16 waiting jobs)\n");
+  std::printf("%-18s %8s %10s %10s %12s %8s/%-8s\n", "case", "nodes", "p50(ns)",
+              "p95(ns)", "breakpoints", "reuses", "rebuilds");
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<PassStats> all;
+  for (const int nodes : {256, 1024, 4096}) {
+    all.push_back(run_pass_study("indexed_steady", nodes, passes, true, false));
+    all.push_back(run_pass_study("indexed_churn", nodes, passes, true, true));
+    all.push_back(run_pass_study("fullscan_steady", nodes, passes, false, false));
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  for (const auto& s : all) {
+    std::printf("%-18s %8d %10.0f %10.0f %12zu %8llu/%-8llu\n", s.label.c_str(), s.nodes,
+                s.p50_ns, s.p95_ns, s.breakpoints,
+                static_cast<unsigned long long>(s.profile_reuses),
+                static_cast<unsigned long long>(s.profile_rebuilds));
+  }
+  std::printf("\nindexed_steady should stay flat as nodes grow (O(dirty) refresh);\n"
+              "fullscan_steady is the historical rebuild and scales with nodes.\n");
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("schema", "sdsched-bench-v1");
+    json.field("bench", "micro_scheduler_pass");
+    json.key("context");
+    json.begin_object();
+    json.field("passes", passes);
+    json.field("waiting_jobs", 16);
+    json.field("release_waves", 8);
+    json.end_object();
+    json.field("wall_seconds", wall);
+    json.key("pass_latency");
+    json.begin_array();
+    for (const auto& s : all) {
+      json.begin_object();
+      json.field("case", s.label);
+      json.field("nodes", s.nodes);
+      json.field("passes", s.passes);
+      json.field("p50_ns", s.p50_ns);
+      json.field("p95_ns", s.p95_ns);
+      json.field("breakpoints", static_cast<std::uint64_t>(s.breakpoints));
+      json.field("profile_reuses", s.profile_reuses);
+      json.field("profile_rebuilds", s.profile_rebuilds);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    write_text_file(json_path, json.str());
+    std::printf("(json written to %s)\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.get_bool("pass-metrics")) {
+    return run_pass_metrics(argc, argv);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,6 +22,8 @@ void SimulationReport::to_json(JsonWriter& json) const {
   json.begin_object();
   json.field("events_fired", events_fired);
   json.field("scheduling_passes", scheduling_passes);
+  json.field("submits_coalesced", submits_coalesced);
+  json.field("ticks_cancelled", ticks_cancelled);
   json.field("malleable_starts", malleable_starts);
   json.field("drom_shrink_ops", drom_shrink_ops);
   json.field("drom_expand_ops", drom_expand_ops);

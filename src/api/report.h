@@ -17,9 +17,15 @@ struct SimulationReport {
   MetricsSummary summary;
   std::vector<JobRecord> records;
 
-  // Kernel/scheduler counters.
+  // Kernel/scheduler counters. The incremental-state kernel legitimately
+  // fires fewer events and runs fewer passes than the historical
+  // rebuild-per-pass one while making identical decisions; the two fields
+  // after each counter pair say how much work coalescing/cancellation
+  // saved so the drop is attributable.
   std::uint64_t events_fired = 0;
   std::uint64_t scheduling_passes = 0;
+  std::uint64_t submits_coalesced = 0;  ///< same-time submits folded into one pass
+  std::uint64_t ticks_cancelled = 0;    ///< idle ticks cancelled when the queue drained
   std::uint64_t malleable_starts = 0;
   std::uint64_t drom_shrink_ops = 0;
   std::uint64_t drom_expand_ops = 0;

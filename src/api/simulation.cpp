@@ -15,6 +15,7 @@ Simulation::Simulation(SimulationConfig config, Workload workload)
     : config_(config),
       workload_(std::move(workload)),
       machine_(config.machine),
+      cluster_index_(machine_, jobs_),
       node_mgr_(machine_, jobs_, drom_),
       tracker_(config.execution_model) {
   // Already-prepared workloads (the generators and SweepRunner prepare once)
@@ -50,6 +51,7 @@ Simulation::Simulation(SimulationConfig config, Workload workload)
   if (predictor_) {
     scheduler_->set_runtime_predictor(&*predictor_);
   }
+  scheduler_->set_cluster_index(&cluster_index_);
   engine_.set_handler([this](const EventQueue::Fired& fired) { handle_event(fired); });
 }
 
@@ -115,11 +117,14 @@ void Simulation::start_guest(JobId id, const MatePlan& plan) {
   job.predicted_end = now + planned_runtime(job.spec) + plan.guest_increase;
 
   // update_stats (Listing 1): stretch the mates' scheduler-visible ends
-  // before the node-level shrink so backfill's next profile sees them.
+  // before the node-level shrink so backfill's next profile sees them. The
+  // cluster index must hear about every stretch explicitly — a mate may
+  // hold nodes the placement plan never touches.
   for (std::size_t i = 0; i < plan.mates.size(); ++i) {
     Job& mate = jobs_.at(plan.mates[i]);
     mate.predicted_increase += plan.mate_increases[i];
     mate.predicted_end += plan.mate_increases[i];
+    cluster_index_.on_predicted_end_changed(plan.mates[i]);
   }
 
   const auto affected = node_mgr_.start_guest(now, id, plan.nodes);
@@ -133,6 +138,24 @@ void Simulation::start_guest(JobId id, const MatePlan& plan) {
 
 void Simulation::on_submit(JobId id) {
   scheduler_->on_submit(id);
+  // Coalesce same-timestamp submit bursts into one pass. Kind-major event
+  // ordering keeps a burst contiguous (all finishes at t fire before the
+  // first submit at t), and under FCFS priority the coalesced pass walks
+  // the burst in arrival order, so it makes the exact decisions the
+  // per-submit passes would have made — minus the rework. Two cases must
+  // keep a pass per submit to stay decision-identical: non-FCFS
+  // priorities (a coalesced pass could schedule a later same-timestamp
+  // arrival before an earlier one) and SD-Policy (a malleable start's
+  // within-pass profile edits leave a mate-shared node free at the
+  // stretched mate end even when the guest outlives it, whereas the next
+  // per-submit pass would rebuild the exact profile).
+  if (config_.policy != PolicyKind::SdPolicy &&
+      config_.sched.priority.kind == PriorityKind::Fcfs && !engine_.idle() &&
+      engine_.next_time() == engine_.now() &&
+      engine_.next_event().kind == EventKind::JobSubmit) {
+    ++submits_coalesced_;
+    return;
+  }
   run_pass();
 }
 
@@ -172,10 +195,26 @@ void Simulation::run_pass() {
 
 void Simulation::arm_tick() {
   if (config_.sched.bf_interval <= 0) return;
-  if (next_tick_ >= 0) return;  // one outstanding tick at a time
-  if (scheduler_->queue().empty()) return;
-  next_tick_ = engine_.now() + config_.sched.bf_interval;
-  engine_.schedule_at(next_tick_, Event{EventKind::SchedulerTick, kInvalidJob});
+  if (scheduler_->queue().empty()) {
+    // Queue drained: an armed tick would fire into an idle scheduler and
+    // do nothing. Cancel the event but keep `next_tick_` — if work arrives
+    // before that time, the chain resumes in phase, so pass times (and
+    // decisions) are identical to the always-armed scheme; only the idle
+    // events disappear.
+    if (tick_event_ != kInvalidEvent) {
+      engine_.cancel(tick_event_);
+      tick_event_ = kInvalidEvent;
+      ++ticks_cancelled_;
+    }
+    return;
+  }
+  if (tick_event_ != kInvalidEvent) return;  // one outstanding tick at a time
+  if (next_tick_ < engine_.now()) {
+    // No live chain (or it lapsed while idle — a tick firing into an empty
+    // queue would not have re-armed): start a fresh one from now.
+    next_tick_ = engine_.now() + config_.sched.bf_interval;
+  }
+  tick_event_ = engine_.schedule_at(next_tick_, Event{EventKind::SchedulerTick, kInvalidJob});
 }
 
 void Simulation::handle_event(const EventQueue::Fired& fired) {
@@ -188,6 +227,7 @@ void Simulation::handle_event(const EventQueue::Fired& fired) {
       break;
     case EventKind::SchedulerTick:
       next_tick_ = -1;
+      tick_event_ = kInvalidEvent;
       if (!scheduler_->queue().empty()) {
         run_pass();
       }
@@ -218,6 +258,8 @@ SimulationReport Simulation::run() {
                                       machine_.energy().kwh());
   report.events_fired = fired;
   report.scheduling_passes = passes_;
+  report.submits_coalesced = submits_coalesced_;
+  report.ticks_cancelled = ticks_cancelled_;
   report.malleable_starts = malleable_starts_;
   report.drom_shrink_ops = drom_.shrink_ops();
   report.drom_expand_ops = drom_.expand_ops();

@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "api/report.h"
+#include "cluster/cluster_state_index.h"
 #include "cluster/machine.h"
 #include "core/sd_config.h"
 #include "core/sd_policy.h"
@@ -111,6 +112,7 @@ class Simulation final : public StartExecutor {
   Engine engine_;
   Machine machine_;
   JobRegistry jobs_;
+  ClusterStateIndex cluster_index_;
   DromRegistry drom_;
   NodeManager node_mgr_;
   ProgressTracker tracker_;
@@ -121,7 +123,14 @@ class Simulation final : public StartExecutor {
 
   std::uint64_t passes_ = 0;
   std::uint64_t malleable_starts_ = 0;
+  std::uint64_t submits_coalesced_ = 0;
+  std::uint64_t ticks_cancelled_ = 0;
+  /// The periodic-pass chain: `next_tick_` is the time the next tick fires
+  /// (or would fire — it survives a queue drain so the chain's phase, and
+  /// therefore every pass time, matches the historical always-armed
+  /// behaviour exactly); `tick_event_` is the armed event, if any.
   SimTime next_tick_ = -1;
+  EventHandle tick_event_ = kInvalidEvent;
   std::size_t completed_ = 0;
   bool ran_ = false;
 };

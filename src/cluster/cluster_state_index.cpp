@@ -1,0 +1,165 @@
+#include "cluster/cluster_state_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace sdsched {
+
+ClusterStateIndex::ClusterStateIndex(Machine& machine, const JobRegistry& jobs)
+    : machine_(machine), jobs_(jobs) {
+  const int nodes = machine_.node_count();
+  node_free_at_.assign(static_cast<std::size_t>(nodes), kEmptyNode);
+  node_class_.resize(static_cast<std::size_t>(nodes));
+
+  // Group nodes by attribute signature: attributes are static, so the
+  // partition is built once and only the free counts move afterwards.
+  for (int id = 0; id < nodes; ++id) {
+    const NodeAttributes& attrs = machine_.node(id).attributes();
+    int cls = -1;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      if (classes_[c].attributes == attrs) {
+        cls = static_cast<int>(c);
+        break;
+      }
+    }
+    if (cls < 0) {
+      cls = static_cast<int>(classes_.size());
+      classes_.push_back(AttrClass{attrs, 0, 0});
+    }
+    node_class_[static_cast<std::size_t>(id)] = cls;
+    ++classes_[static_cast<std::size_t>(cls)].total;
+    ++classes_[static_cast<std::size_t>(cls)].free;
+  }
+
+  // Index whatever is already running (warm-start scenarios attach to a
+  // populated machine).
+  for (int id = 0; id < nodes; ++id) refresh_node(id);
+  machine_.set_observer(this);
+}
+
+ClusterStateIndex::~ClusterStateIndex() { machine_.set_observer(nullptr); }
+
+SimTime ClusterStateIndex::scan_free_at(int node_id) const {
+  const Node& node = machine_.node(node_id);
+  if (node.empty()) return kEmptyNode;
+  SimTime free_at = INT64_MIN + 1;
+  for (const auto& occ : node.occupants()) {
+    free_at = std::max(free_at, jobs_.at(occ.job).predicted_end);
+  }
+  return free_at;
+}
+
+void ClusterStateIndex::refresh_node(int node_id) {
+  const SimTime free_at = scan_free_at(node_id);
+  SimTime& slot = node_free_at_[static_cast<std::size_t>(node_id)];
+  if (free_at == slot) return;
+
+  AttrClass& cls = classes_[static_cast<std::size_t>(
+      node_class_[static_cast<std::size_t>(node_id)])];
+  if (slot != kEmptyNode) {
+    const auto it = busy_counts_.find(slot);
+    assert(it != busy_counts_.end() && "indexed free_at missing from busy_counts");
+    if (it != busy_counts_.end() && --it->second == 0) busy_counts_.erase(it);
+    --occupied_nodes_;
+    ++cls.free;
+  }
+  if (free_at != kEmptyNode) {
+    ++busy_counts_[free_at];
+    ++occupied_nodes_;
+    --cls.free;
+  }
+  slot = free_at;
+  ++version_;
+}
+
+void ClusterStateIndex::on_node_occupancy_changed(int node_id) { refresh_node(node_id); }
+
+void ClusterStateIndex::on_predicted_end_changed(JobId job) {
+  for (const NodeShare& share : jobs_.at(job).shares) {
+    refresh_node(share.node);
+  }
+}
+
+void ClusterStateIndex::busy_groups(SimTime now,
+                                    std::vector<std::pair<SimTime, int>>& out) const {
+  out.clear();
+  // Overdue occupants (free_at <= now): assume imminent completion at now+1,
+  // exactly as the full-scan profile build always did.
+  auto it = busy_counts_.begin();
+  int overdue = 0;
+  for (; it != busy_counts_.end() && it->first <= now + 1; ++it) overdue += it->second;
+  if (overdue > 0) out.emplace_back(now + 1, overdue);
+  for (; it != busy_counts_.end(); ++it) out.emplace_back(it->first, it->second);
+}
+
+int ClusterStateIndex::eligible_node_count(const JobConstraints& constraints) const {
+  if (constraints.unconstrained()) return machine_.node_count();
+  int eligible = 0;
+  for (const AttrClass& cls : classes_) {
+    if (node_satisfies(cls.attributes, constraints)) eligible += cls.total;
+  }
+  return eligible;
+}
+
+int ClusterStateIndex::eligible_free_count(const JobConstraints& constraints) const {
+  if (constraints.unconstrained()) return machine_.free_node_count();
+  int free = 0;
+  for (const AttrClass& cls : classes_) {
+    if (node_satisfies(cls.attributes, constraints)) free += cls.free;
+  }
+  return free;
+}
+
+bool ClusterStateIndex::check_consistent(std::string* diagnosis) const {
+  const auto fail = [diagnosis](const std::string& what) {
+    if (diagnosis != nullptr) *diagnosis = what;
+    return false;
+  };
+
+  std::map<SimTime, int> expect_counts;
+  int expect_occupied = 0;
+  std::vector<int> expect_class_free(classes_.size(), 0);
+  for (int id = 0; id < machine_.node_count(); ++id) {
+    const SimTime expect = scan_free_at(id);
+    if (node_free_at_[static_cast<std::size_t>(id)] != expect) {
+      std::ostringstream oss;
+      oss << "node " << id << ": indexed free_at "
+          << node_free_at_[static_cast<std::size_t>(id)] << " != scanned " << expect;
+      return fail(oss.str());
+    }
+    const int cls = node_class_[static_cast<std::size_t>(id)];
+    if (expect == kEmptyNode) {
+      ++expect_class_free[static_cast<std::size_t>(cls)];
+    } else {
+      ++expect_counts[expect];
+      ++expect_occupied;
+    }
+  }
+  if (busy_counts_ != expect_counts) return fail("busy_counts diverged from node scan");
+  if (occupied_nodes_ != expect_occupied) return fail("occupied_nodes diverged");
+  if (occupied_nodes_ != machine_.occupied_nodes()) {
+    return fail("occupied_nodes diverged from machine");
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (classes_[c].free != expect_class_free[c]) {
+      std::ostringstream oss;
+      oss << "attribute class " << c << ": indexed free " << classes_[c].free
+          << " != scanned " << expect_class_free[c];
+      return fail(oss.str());
+    }
+  }
+  // The class partition must reproduce the machine's own constraint answers.
+  for (const AttrClass& cls : classes_) {
+    JobConstraints probe;
+    probe.required_arch = cls.attributes.arch;
+    probe.min_memory_gb = cls.attributes.memory_gb;
+    probe.required_network = cls.attributes.network;
+    if (eligible_node_count(probe) != machine_.eligible_node_count(probe)) {
+      return fail("eligible_node_count diverged from machine for class probe");
+    }
+  }
+  return true;
+}
+
+}  // namespace sdsched

@@ -1,0 +1,102 @@
+// Event-driven cluster state index.
+//
+// Scheduling passes used to rebuild their view of the cluster from scratch:
+// scan every node, every occupant, every attribute. This index inverts
+// that: the kernel notifies it on every occupancy change (static starts,
+// guest placements, finishes, reconfigurations — via the Machine observer
+// hook) and on every predicted-end move (mate stretching — via the
+// Simulation kernel), and the index maintains incrementally:
+//
+//  * per-node `free_at` — the latest predicted end among the node's
+//    occupants (the time backfill's reservation profile expects the node
+//    back), plus a sorted (free_at -> node count) map over occupied nodes
+//    from which a ReservationProfile base snapshot is assembled in
+//    O(distinct release times);
+//  * per-attribute-class eligible/free node counts, making constraint
+//    filtering (§3.2.4) O(classes) instead of O(nodes);
+//  * a version counter, so schedulers can reuse their profile base across
+//    passes when nothing changed.
+//
+// check_consistent() cross-checks everything against the brute-force node
+// scan the index replaced; compile with SDSCHED_INDEX_CROSSCHECK (the asan
+// preset does) to run it on every scheduling pass.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "job/job_registry.h"
+
+namespace sdsched {
+
+class ClusterStateIndex final : public MachineObserver {
+ public:
+  /// Attaches to `machine` as its observer and indexes its current state.
+  /// `jobs` provides occupants' predicted ends.
+  ClusterStateIndex(Machine& machine, const JobRegistry& jobs);
+  ~ClusterStateIndex() override;
+
+  ClusterStateIndex(const ClusterStateIndex&) = delete;
+  ClusterStateIndex& operator=(const ClusterStateIndex&) = delete;
+
+  // MachineObserver: an occupancy mutation touched `node_id`.
+  void on_node_occupancy_changed(int node_id) override;
+
+  /// `job`'s predicted end moved (mate stretching, Listing 1 update_stats):
+  /// refresh every node the job holds.
+  void on_predicted_end_changed(JobId job);
+
+  /// Bumped whenever any indexed quantity actually changed.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Occupied-node release groups for a pass at `now`: ascending (free_at,
+  /// nodes) with overdue occupants (free_at <= now) clamped to now + 1
+  /// ("assume imminent completion"), ready for ReservationProfile::set_base.
+  void busy_groups(SimTime now, std::vector<std::pair<SimTime, int>>& out) const;
+
+  /// Nodes (free or busy) satisfying `constraints` — O(attribute classes).
+  [[nodiscard]] int eligible_node_count(const JobConstraints& constraints) const;
+
+  /// Free nodes satisfying `constraints` — O(attribute classes).
+  [[nodiscard]] int eligible_free_count(const JobConstraints& constraints) const;
+
+  [[nodiscard]] int occupied_node_count() const noexcept { return occupied_nodes_; }
+
+  /// Cross-check every indexed quantity against a full scan of the machine
+  /// and registry. On mismatch returns false and, if given, fills
+  /// `diagnosis` with the first divergence found.
+  [[nodiscard]] bool check_consistent(std::string* diagnosis = nullptr) const;
+
+ private:
+  /// Recompute one node's free_at and class/free bookkeeping; bumps the
+  /// version only when something actually changed.
+  void refresh_node(int node_id);
+
+  [[nodiscard]] SimTime scan_free_at(int node_id) const;
+
+  static constexpr SimTime kEmptyNode = INT64_MIN;
+
+  struct AttrClass {
+    NodeAttributes attributes;
+    int total = 0;
+    int free = 0;
+  };
+
+  Machine& machine_;
+  const JobRegistry& jobs_;
+
+  std::vector<SimTime> node_free_at_;        ///< kEmptyNode for free nodes
+  std::map<SimTime, int> busy_counts_;       ///< free_at -> occupied node count
+  int occupied_nodes_ = 0;
+
+  std::vector<AttrClass> classes_;
+  std::vector<int> node_class_;              ///< node id -> index into classes_
+
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace sdsched

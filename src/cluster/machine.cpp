@@ -119,6 +119,7 @@ bool Machine::allocate_exclusive(SimTime now, JobId job, const std::vector<int>&
     busy_cores_ += held;
     added_cores += held;
     sync_free_state(id);
+    notify(id);
   }
   commit(backdated, added_cores, static_cast<int>(node_ids.size()));
   return true;
@@ -130,6 +131,7 @@ bool Machine::add_share(SimTime now, JobId job, int node_id, int cpus, bool is_o
   if (!nodes_[node_id].add(job, cpus, is_owner)) return false;
   busy_cores_ += cpus;
   sync_free_state(node_id);
+  notify(node_id);
   commit(backdated, cpus, was_empty ? 1 : 0);
   return true;
 }
@@ -141,6 +143,7 @@ bool Machine::resize_share(SimTime now, JobId job, int node_id, int cpus) {
   const SimTime backdated = touch(now);
   if (!node.resize(job, cpus)) return false;
   busy_cores_ += cpus - occ->cpus;
+  notify(node_id);
   commit(backdated, cpus - occ->cpus, 0);
   return true;
 }
@@ -151,6 +154,7 @@ int Machine::remove_share(SimTime now, JobId job, int node_id) {
   busy_cores_ -= freed;
   const bool emptied = freed > 0 && nodes_[node_id].empty();
   sync_free_state(node_id);
+  if (freed > 0) notify(node_id);
   commit(backdated, -freed, emptied ? -1 : 0);
   return freed;
 }
@@ -165,6 +169,7 @@ void Machine::release_all(SimTime now, JobId job, const std::vector<int>& node_i
     busy_cores_ -= freed;
     freed_cores += freed;
     sync_free_state(id);
+    if (freed > 0) notify(id);
   }
   commit(backdated, -freed_cores, -emptied);
 }

@@ -29,6 +29,15 @@ struct MachineConfig {
 [[nodiscard]] bool node_satisfies(const NodeAttributes& attributes,
                                   const JobConstraints& constraints) noexcept;
 
+/// Occupancy-change notifications (one per mutated node, fired after the
+/// mutation is applied). The ClusterStateIndex subscribes to keep scheduler
+/// state incremental instead of rescanning the machine every pass.
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+  virtual void on_node_occupancy_changed(int node_id) = 0;
+};
+
 class Machine {
  public:
   explicit Machine(MachineConfig config);
@@ -89,6 +98,10 @@ class Machine {
   /// Total core-seconds allocated so far (for utilization reporting).
   [[nodiscard]] double core_seconds() const noexcept { return core_seconds_; }
 
+  /// Install (or clear, with nullptr) the occupancy observer. At most one;
+  /// the caller owns its lifetime and must detach before destruction.
+  void set_observer(MachineObserver* observer) noexcept { observer_ = observer; }
+
  private:
   /// Advance accounting to `now`: integrate [last_touch_, now] with the load
   /// that was current and move the frontier. Callers may legitimately pass a
@@ -114,6 +127,11 @@ class Machine {
 
   void sync_free_state(int node_id);
 
+  void notify(int node_id) {
+    if (observer_ != nullptr) observer_->on_node_occupancy_changed(node_id);
+  }
+
+  MachineObserver* observer_ = nullptr;
   MachineConfig config_;
   std::vector<Node> nodes_;
   std::set<int> free_nodes_;  ///< ordered -> deterministic lowest-first picks

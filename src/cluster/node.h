@@ -25,6 +25,9 @@ struct NodeAttributes {
   std::string arch = "x86_64";
   int memory_gb = 96;          ///< MN4 standard nodes
   std::string network = "opa"; ///< interconnect class (e.g. Omni-Path)
+
+  /// Attribute-class identity (the ClusterStateIndex partitions nodes by it).
+  friend bool operator==(const NodeAttributes&, const NodeAttributes&) = default;
 };
 
 /// One job's holding on this node.

@@ -26,14 +26,14 @@ bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
 
   // Free nodes a plan may borrow without displacing this pass's
   // reservations: whatever stays free for the quick-estimate duration.
+  // One sweep over the window (min availability == the largest request
+  // that starts now), instead of one earliest_start probe per count.
   int max_free_nodes = 0;
   if (sd_config_.include_free_nodes) {
     const SimTime d0 = mall_end_quick - now;
-    for (int f = std::min(machine_.free_node_count(), job.spec.req_nodes - 1); f >= 1; --f) {
-      if (profile.earliest_start(f, d0, now) == now) {
-        max_free_nodes = f;
-        break;
-      }
+    const int cap = std::min(machine_.free_node_count(), job.spec.req_nodes - 1);
+    if (cap >= 1) {
+      max_free_nodes = std::clamp(profile.min_available(now, d0), 0, cap);
     }
   }
 

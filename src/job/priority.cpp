@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "job/wait_queue.h"
+
 namespace sdsched {
 
 double job_priority(const PriorityConfig& config, const JobSpec& spec, SimTime now) noexcept {
@@ -25,14 +27,19 @@ double job_priority(const PriorityConfig& config, const JobSpec& spec, SimTime n
   return 0.0;
 }
 
-std::vector<JobId> priority_order(const PriorityConfig& config, const WaitQueue& queue,
-                                  const JobRegistry& jobs, SimTime now) {
-  std::vector<JobId> ids = queue.ordered_ids();  // FCFS order = tie-break order
-  if (config.kind == PriorityKind::Fcfs) return ids;
+void sort_by_priority(const PriorityConfig& config, const JobRegistry& jobs, SimTime now,
+                      std::vector<JobId>& ids) {
+  if (config.kind == PriorityKind::Fcfs) return;  // FCFS order is the input order
   std::stable_sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
     return job_priority(config, jobs.at(a).spec, now) >
            job_priority(config, jobs.at(b).spec, now);
   });
+}
+
+std::vector<JobId> priority_order(const PriorityConfig& config, const WaitQueue& queue,
+                                  const JobRegistry& jobs, SimTime now) {
+  std::vector<JobId> ids = queue.ordered_ids();  // FCFS order = tie-break order
+  sort_by_priority(config, jobs, now, ids);
   return ids;
 }
 

@@ -11,9 +11,10 @@
 
 #include "job/job.h"
 #include "job/job_registry.h"
-#include "job/wait_queue.h"
 
 namespace sdsched {
+
+class WaitQueue;
 
 enum class PriorityKind : int {
   Fcfs = 0,           ///< arrival order (the paper's setting)
@@ -35,6 +36,12 @@ struct PriorityConfig {
 /// Priority of one job at `now` (higher runs first).
 [[nodiscard]] double job_priority(const PriorityConfig& config, const JobSpec& spec,
                                   SimTime now) noexcept;
+
+/// Stable-sort `ids` (given in FCFS order, which therefore breaks ties) by
+/// descending priority at `now`. The one comparator both priority_order()
+/// and the WaitQueue's cached scheduling-order view go through.
+void sort_by_priority(const PriorityConfig& config, const JobRegistry& jobs, SimTime now,
+                      std::vector<JobId>& ids);
 
 /// Queue ids ordered by descending priority, FCFS tie-break. For
 /// PriorityKind::Fcfs this is exactly the queue's native order.

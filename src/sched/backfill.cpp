@@ -1,9 +1,11 @@
 #include "sched/backfill.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 
 #include "api/report.h"
+#include "cluster/cluster_state_index.h"
 #include "util/logging.h"
 
 namespace sdsched {
@@ -17,36 +19,65 @@ void BackfillScheduler::annotate(SimulationReport& report) const {
   report.cancelled_jobs = cancelled_;
 }
 
-ReservationProfile BackfillScheduler::build_profile(SimTime now) const {
-  ReservationProfile profile(machine_.node_count());
-  // A shared node frees when its *last* occupant's predicted end passes.
-  // Group nodes by free time to keep profile edits small.
+int BackfillScheduler::eligible_nodes(const JobConstraints& constraints) const {
+  return cluster_index_ != nullptr ? cluster_index_->eligible_node_count(constraints)
+                                   : machine_.eligible_node_count(constraints);
+}
+
+ReservationProfile& BackfillScheduler::pass_profile(SimTime now) {
+  if (cluster_index_ != nullptr) {
+#ifdef SDSCHED_INDEX_CROSSCHECK
+    std::string diagnosis;
+    const bool consistent = cluster_index_->check_consistent(&diagnosis);
+    if (!consistent) log_error("backfill", "cluster index inconsistent: ", diagnosis);
+    assert(consistent && "ClusterStateIndex diverged from the machine scan");
+#endif
+    if (profile_valid_ && profile_version_ == cluster_index_->version() &&
+        profile_.first_release_time() > now) {
+      // Nothing changed since the last pass and no release crossed `now`:
+      // the base snapshot is still exact. Drop only the pass overlay.
+      profile_.clear_overlay();
+      ++profile_reuses_;
+      return profile_;
+    }
+    cluster_index_->busy_groups(now, scratch_groups_);
+    profile_.set_base(machine_.node_count(), now, scratch_groups_);
+    profile_version_ = cluster_index_->version();
+    profile_valid_ = true;
+    ++profile_rebuilds_;
+    return profile_;
+  }
+
+  // No index attached (standalone scheduler): full scan, exactly the
+  // historical build. A shared node frees when its *last* occupant's
+  // predicted end passes; overdue jobs are assumed imminent (now + 1).
   std::map<SimTime, int> frees;
   for (int id = 0; id < machine_.node_count(); ++id) {
     const Node& node = machine_.node(id);
     if (node.empty()) continue;
-    SimTime free_at = now + 1;  // overdue jobs: assume imminent completion
+    SimTime free_at = now + 1;
     for (const auto& occ : node.occupants()) {
       free_at = std::max(free_at, jobs_.at(occ.job).predicted_end);
     }
     ++frees[free_at];
   }
-  for (const auto& [free_at, count] : frees) {
-    profile.reserve(now, free_at, count);
-  }
-  return profile;
+  scratch_groups_.assign(frees.begin(), frees.end());
+  profile_.set_base(machine_.node_count(), now, scratch_groups_);
+  profile_valid_ = false;
+  ++profile_rebuilds_;
+  return profile_;
 }
 
 void BackfillScheduler::schedule_pass(SimTime now) {
   if (queue_.empty()) return;
-  ReservationProfile profile = build_profile(now);
+  ReservationProfile& profile = pass_profile(now);
   int reservations = 0;
   int examined = 0;
   for (const JobId id : scheduling_order(now)) {
     if (examined++ >= config_.bf_max_jobs) break;
     Job& job = jobs_.at(id);
     const int req_nodes = job.spec.req_nodes;
-    if (req_nodes > machine_.eligible_node_count(job.spec.constraints)) {
+    if (req_nodes > eligible_nodes(job.spec.constraints)) {
       // No set of nodes can ever satisfy the request (§3.2.4 filtering).
       log_warn("backfill", "job ", id, " can never fit its constraints; cancelling");
       job.state = JobState::Cancelled;

@@ -3,13 +3,16 @@
 namespace sdsched {
 
 void FcfsScheduler::schedule_pass(SimTime now) {
-  while (!queue_.empty()) {
-    const JobId head = scheduling_order(now).front();
-    const Job& job = jobs_.at(head);
+  if (queue_.empty()) return;
+  // One ordered view for the whole pass (priorities are fixed at a given
+  // `now`, and removal does not reorder the rest): strict FCFS — the first
+  // job that cannot be placed blocks everything behind it.
+  for (const JobId id : scheduling_order(now)) {
+    const Job& job = jobs_.at(id);
     const auto nodes = machine_.find_free_nodes(job.spec.req_nodes, &job.spec.constraints);
     if (!nodes) return;  // head blocks
-    queue_.remove(head);
-    executor_.start_static(head, *nodes);
+    queue_.remove(id);
+    executor_.start_static(id, *nodes);
   }
 }
 

@@ -1,36 +1,110 @@
 #include "sched/reservation.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sdsched {
 
-void ReservationProfile::add_delta(SimTime start, SimTime end, int delta) {
-  if (start >= end || delta == 0) return;
-  deltas_[start] += delta;
-  if (deltas_[start] == 0) deltas_.erase(start);
-  if (end < kForever) {
-    deltas_[end] -= delta;
-    if (deltas_[end] == 0) deltas_.erase(end);
+void ReservationProfile::set_base(int capacity, SimTime origin,
+                                  const std::vector<std::pair<SimTime, int>>& busy_groups) {
+  capacity_ = capacity;
+  overlay_.clear();
+  base_.clear();
+  if (busy_groups.empty()) return;
+
+  int busy = 0;
+  for (const auto& [free_at, nodes] : busy_groups) {
+    assert(free_at > origin && "busy group must release after the pass origin");
+    assert(nodes > 0);
+    (void)free_at;
+    busy += nodes;
   }
+  base_.reserve(busy_groups.size() + 1);
+  int free = capacity - busy;
+  base_.push_back(Step{origin, free});
+  for (const auto& [free_at, nodes] : busy_groups) {
+    assert(base_.back().time < free_at && "busy groups must be strictly ascending");
+    free += nodes;
+    base_.push_back(Step{free_at, free});
+  }
+  assert(free == capacity && "base snapshot must drain back to capacity");
+}
+
+int ReservationProfile::base_free_at(SimTime t, std::size_t* step_index) const {
+  const auto it = std::upper_bound(
+      base_.begin(), base_.end(), t,
+      [](SimTime value, const Step& step) { return value < step.time; });
+  if (step_index != nullptr) *step_index = static_cast<std::size_t>(it - base_.begin());
+  return it == base_.begin() ? capacity_ : std::prev(it)->free;
+}
+
+void ReservationProfile::add_overlay_delta(SimTime start, SimTime end, int delta) {
+  if (start >= end || delta == 0) return;
+  const auto apply = [this](SimTime time, int d) {
+    const auto it = std::lower_bound(
+        overlay_.begin(), overlay_.end(), time,
+        [](const std::pair<SimTime, int>& e, SimTime value) { return e.first < value; });
+    if (it != overlay_.end() && it->first == time) {
+      it->second += d;
+      if (it->second == 0) overlay_.erase(it);
+    } else {
+      overlay_.insert(it, {time, d});
+    }
+  };
+  apply(start, delta);
+  if (end < kForever) apply(end, -delta);
 }
 
 void ReservationProfile::reserve(SimTime start, SimTime end, int nodes) {
   assert(nodes >= 0);
-  add_delta(start, end, -nodes);
+  add_overlay_delta(start, end, -nodes);
 }
 
 void ReservationProfile::release(SimTime start, SimTime end, int nodes) {
   assert(nodes >= 0);
-  add_delta(start, end, nodes);
+  add_overlay_delta(start, end, nodes);
 }
 
-int ReservationProfile::available_at(SimTime t) const {
-  int free = capacity_;
-  for (const auto& [time, delta] : deltas_) {
-    if (time > t) break;
-    free += delta;
+ReservationProfile::Sweep ReservationProfile::sweep_at(SimTime t) const {
+  // Binary search into the base, linear prefix over the small overlay.
+  Sweep sweep;
+  sweep.base_free = base_free_at(t, &sweep.bi);
+  while (sweep.oi < overlay_.size() && overlay_[sweep.oi].first <= t) {
+    sweep.overlay_sum += overlay_[sweep.oi].second;
+    ++sweep.oi;
   }
-  return free;
+  return sweep;
+}
+
+SimTime ReservationProfile::next_breakpoint(const Sweep& sweep) const noexcept {
+  SimTime next = kForever;
+  if (sweep.bi < base_.size()) next = base_[sweep.bi].time;
+  if (sweep.oi < overlay_.size()) next = std::min(next, overlay_[sweep.oi].first);
+  return next;
+}
+
+void ReservationProfile::advance_to(Sweep& sweep, SimTime t) const noexcept {
+  while (sweep.bi < base_.size() && base_[sweep.bi].time == t) {
+    sweep.base_free = base_[sweep.bi++].free;
+  }
+  while (sweep.oi < overlay_.size() && overlay_[sweep.oi].first == t) {
+    sweep.overlay_sum += overlay_[sweep.oi++].second;
+  }
+}
+
+int ReservationProfile::available_at(SimTime t) const { return sweep_at(t).free(); }
+
+int ReservationProfile::min_available(SimTime start, SimTime duration) const {
+  duration = std::max<SimTime>(duration, 1);
+  const SimTime end = start + duration;
+
+  Sweep sweep = sweep_at(start);
+  int min_free = sweep.free();
+  for (SimTime t = next_breakpoint(sweep); t < end; t = next_breakpoint(sweep)) {
+    advance_to(sweep, t);
+    min_free = std::min(min_free, sweep.free());
+  }
+  return min_free;
 }
 
 SimTime ReservationProfile::earliest_start(int nodes, SimTime duration,
@@ -39,24 +113,21 @@ SimTime ReservationProfile::earliest_start(int nodes, SimTime duration,
   if (nodes <= 0) return not_before;
   duration = std::max<SimTime>(duration, 1);
 
-  // Sweep the step function once, tracking the earliest candidate start
-  // whose window [candidate, candidate + duration) stays feasible.
-  int free = capacity_;
+  // Sweep the merged step function from not_before, tracking the earliest
+  // candidate start whose window [candidate, candidate + duration) stays
+  // feasible.
+  Sweep sweep = sweep_at(not_before);
   SimTime candidate = not_before;
-  bool feasible = true;  // free >= nodes since `candidate`
-  for (const auto& [time, delta] : deltas_) {
-    if (feasible && time >= candidate + duration) {
+  bool feasible = sweep.free() >= nodes;
+
+  for (SimTime t = next_breakpoint(sweep); t < kForever; t = next_breakpoint(sweep)) {
+    if (feasible && t >= candidate + duration) {
       return candidate;  // window closed before this breakpoint
     }
-    free += delta;
-    if (time <= not_before) {
-      feasible = free >= nodes;  // establishes state at not_before
-      candidate = not_before;
-      continue;
-    }
-    if (free >= nodes) {
+    advance_to(sweep, t);
+    if (sweep.free() >= nodes) {
       if (!feasible) {
-        candidate = time;
+        candidate = t;
         feasible = true;
       }
     } else {

@@ -20,6 +20,7 @@
 
 namespace sdsched {
 
+class ClusterStateIndex;
 struct SimulationReport;
 
 /// A fully costed malleable co-scheduling decision (MateSelector output).
@@ -61,7 +62,9 @@ class Scheduler {
  public:
   explicit Scheduler(Machine& machine, JobRegistry& jobs, StartExecutor& executor,
                      SchedConfig config) noexcept
-      : machine_(machine), jobs_(jobs), executor_(executor), config_(config) {}
+      : machine_(machine), jobs_(jobs), executor_(executor), config_(config) {
+    queue_.configure(config_.priority, &jobs_);
+  }
   virtual ~Scheduler() = default;
 
   Scheduler(const Scheduler&) = delete;
@@ -89,6 +92,14 @@ class Scheduler {
     predictor_ = predictor;
   }
 
+  /// Install the event-driven cluster index. With it, profile bases are
+  /// incremental snapshots and constraint filtering is O(attribute classes);
+  /// without it (standalone schedulers in unit tests), passes fall back to
+  /// the full machine scan.
+  void set_cluster_index(const ClusterStateIndex* index) noexcept {
+    cluster_index_ = index;
+  }
+
   /// The scheduler's working estimate of a job's duration: the user request,
   /// or the predictor's refinement when one is installed.
   [[nodiscard]] SimTime effective_req_time(const JobSpec& spec) const {
@@ -96,12 +107,17 @@ class Scheduler {
   }
 
  protected:
-  /// Queue snapshot in scheduling order under the configured priority.
-  [[nodiscard]] std::vector<JobId> scheduling_order(SimTime now) const {
-    return priority_order(config_.priority, queue_, jobs_, now);
+  /// Queue view in scheduling order under the configured priority. Cached
+  /// inside the WaitQueue: rebuilt only after a push/remove (or, for
+  /// time-dependent priorities, when `now` moves), so a pass over an
+  /// unchanged queue costs nothing here. The view stays valid while the
+  /// pass removes the jobs it starts.
+  [[nodiscard]] const std::vector<JobId>& scheduling_order(SimTime now) const {
+    return queue_.scheduling_order(now);
   }
 
   const RuntimePredictor* predictor_ = nullptr;
+  const ClusterStateIndex* cluster_index_ = nullptr;
   Machine& machine_;
   JobRegistry& jobs_;
   StartExecutor& executor_;

@@ -34,6 +34,10 @@ class Engine {
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.live_count(); }
 
+  /// Time / payload of the next live event. Require !idle().
+  [[nodiscard]] SimTime next_time() const { return queue_.next_time(); }
+  [[nodiscard]] Event next_event() const { return queue_.next_event(); }
+
   /// Run until the queue drains (or `max_events` fire). Returns events fired.
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 

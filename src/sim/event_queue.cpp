@@ -43,6 +43,12 @@ SimTime EventQueue::next_time() const {
   return heap_.top().time;
 }
 
+Event EventQueue::next_event() const {
+  drop_dead();
+  assert(!heap_.empty());
+  return heap_.top().event;
+}
+
 EventQueue::Fired EventQueue::pop() {
   drop_dead();
   assert(!heap_.empty());

@@ -30,6 +30,11 @@ class EventQueue {
   /// Time of the next live event. Requires !empty().
   [[nodiscard]] SimTime next_time() const;
 
+  /// The next live event without popping it. Requires !empty(). Lets the
+  /// simulation kernel coalesce same-timestamp bursts (e.g. run one
+  /// scheduling pass after the last submit of a burst, not one per submit).
+  [[nodiscard]] Event next_event() const;
+
   struct Fired {
     SimTime time = 0;
     Event event;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "job/wait_queue.h"
+
 namespace sdsched {
 namespace {
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 namespace sdsched {
 namespace {
 
@@ -99,6 +103,181 @@ TEST(Reservation, OverlappingReservationsStack) {
   EXPECT_EQ(profile.available_at(30), 2);
   EXPECT_EQ(profile.earliest_start(3, 10, 0), 0);    // 6 free before 25
   EXPECT_EQ(profile.earliest_start(3, 30, 0), 50);   // dip at 25 blocks
+}
+
+TEST(Reservation, NotBeforeBetweenBreakpoints) {
+  // not_before falls strictly inside an infeasible segment: the earliest
+  // start is the segment's release, not a breakpoint near not_before.
+  ReservationProfile profile(8);
+  profile.reserve(10, 20, 6);
+  profile.reserve(30, 40, 6);
+  EXPECT_EQ(profile.earliest_start(4, 5, 15), 20);
+  // A longer window from the same not_before must clear the second dip too.
+  EXPECT_EQ(profile.earliest_start(4, 15, 15), 40);
+  // not_before inside a *feasible* gap starts right there.
+  EXPECT_EQ(profile.earliest_start(4, 5, 22), 22);
+}
+
+TEST(Reservation, DurationClampsToOne) {
+  ReservationProfile profile(4);
+  profile.reserve(5, 10, 4);
+  // Zero/negative durations behave as a 1-second window.
+  EXPECT_EQ(profile.earliest_start(1, 0, 5), 10);
+  EXPECT_EQ(profile.earliest_start(1, -7, 5), 10);
+  // Window [0, 1) closes before the dip at 5 begins.
+  EXPECT_EQ(profile.earliest_start(4, 0, 0), 0);
+  EXPECT_EQ(profile.min_available(0, 0), profile.min_available(0, 1));
+}
+
+TEST(Reservation, PermanentReservationReturnsNever) {
+  ReservationProfile profile(4);
+  profile.reserve(0, ReservationProfile::kForever, 2);
+  EXPECT_EQ(profile.earliest_start(3, 10, 0), ReservationProfile::kNever);
+  EXPECT_EQ(profile.earliest_start(2, 10, 0), 0);  // what remains is enough
+  EXPECT_EQ(profile.earliest_start(5, 1, 0), ReservationProfile::kNever);  // > capacity
+}
+
+TEST(Reservation, MinAvailableScansTheWholeWindow) {
+  ReservationProfile profile(8);
+  profile.reserve(10, 20, 3);
+  EXPECT_EQ(profile.min_available(0, 10), 8);  // window ends as the dip starts
+  EXPECT_EQ(profile.min_available(0, 11), 5);
+  EXPECT_EQ(profile.min_available(5, 100), 5);
+  EXPECT_EQ(profile.min_available(20, 5), 8);
+  profile.reserve(12, 14, 5);
+  EXPECT_EQ(profile.min_available(0, 100), 0);
+}
+
+TEST(Reservation, BaseSnapshotPlusOverlay) {
+  // A base snapshot from the cluster index, then pass-local reservations on
+  // top; clear_overlay() must restore exactly the base.
+  ReservationProfile profile;
+  profile.set_base(8, /*origin=*/100, {{150, 3}, {200, 2}});
+  EXPECT_EQ(profile.capacity(), 8);
+  EXPECT_EQ(profile.available_at(100), 3);
+  EXPECT_EQ(profile.available_at(150), 6);
+  EXPECT_EQ(profile.available_at(200), 8);
+  EXPECT_EQ(profile.first_release_time(), 150);
+  EXPECT_EQ(profile.earliest_start(8, 10, 100), 200);
+
+  profile.reserve(100, 160, 3);  // the pass starts a job on the free nodes
+  EXPECT_EQ(profile.available_at(100), 0);
+  EXPECT_EQ(profile.available_at(150), 3);
+  EXPECT_EQ(profile.earliest_start(4, 10, 100), 160);
+
+  profile.clear_overlay();
+  EXPECT_EQ(profile.available_at(100), 3);
+  EXPECT_EQ(profile.earliest_start(8, 10, 100), 200);
+  EXPECT_EQ(profile.first_release_time(), 150);
+}
+
+/// Brute-force reference: availability by summing raw intervals, earliest
+/// start by trying every breakpoint candidate.
+struct ReferenceProfile {
+  int capacity;
+  std::vector<std::tuple<SimTime, SimTime, int>> ops;  ///< (start, end, delta)
+
+  int available_at(SimTime t) const {
+    int free = capacity;
+    for (const auto& [s, e, d] : ops) {
+      if (s <= t && t < e) free += d;
+    }
+    return free;
+  }
+  bool window_ok(SimTime t, SimTime dur, int nodes,
+                 const std::vector<SimTime>& breaks) const {
+    if (available_at(t) < nodes) return false;
+    for (const SimTime b : breaks) {
+      if (b > t && b < t + dur && available_at(b) < nodes) return false;
+    }
+    return true;
+  }
+  SimTime earliest_start(int nodes, SimTime dur, SimTime not_before) const {
+    if (nodes > capacity) return ReservationProfile::kNever;
+    if (nodes <= 0) return not_before;
+    dur = std::max<SimTime>(dur, 1);
+    std::vector<SimTime> breaks;
+    for (const auto& [s, e, d] : ops) {
+      breaks.push_back(s);
+      if (e < ReservationProfile::kForever) breaks.push_back(e);
+    }
+    std::sort(breaks.begin(), breaks.end());
+    std::vector<SimTime> candidates{not_before};
+    for (const SimTime b : breaks) {
+      if (b > not_before) candidates.push_back(b);
+    }
+    for (const SimTime c : candidates) {
+      if (window_ok(c, dur, nodes, breaks)) return c;
+    }
+    return ReservationProfile::kNever;
+  }
+};
+
+TEST(Reservation, RandomizedAgainstBruteForce) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto rnd = [&state](std::uint64_t bound) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state % bound;
+  };
+  for (int round = 0; round < 40; ++round) {
+    const int capacity = 2 + static_cast<int>(rnd(14));
+    ReservationProfile profile;
+    ReferenceProfile ref{capacity, {}};
+    // A base snapshot for half the rounds, pure overlay for the rest.
+    if (round % 2 == 0) {
+      std::vector<std::pair<SimTime, int>> groups;
+      SimTime t = 1;
+      int left = capacity;
+      while (left > 0 && rnd(4) != 0) {
+        t += 1 + static_cast<SimTime>(rnd(40));
+        const int n = 1 + static_cast<int>(rnd(static_cast<std::uint64_t>(left)));
+        groups.emplace_back(t, n);
+        left -= n;
+      }
+      profile.set_base(capacity, 0, groups);
+      for (const auto& [free_at, n] : groups) {
+        ref.ops.emplace_back(0, free_at, -n);
+      }
+    } else {
+      profile = ReservationProfile(capacity);
+    }
+    for (int op = 0; op < 12; ++op) {
+      const SimTime start = static_cast<SimTime>(rnd(120));
+      const SimTime end = rnd(8) == 0 ? ReservationProfile::kForever
+                                      : start + 1 + static_cast<SimTime>(rnd(60));
+      const int nodes = 1 + static_cast<int>(rnd(3));
+      if (rnd(3) == 0) {
+        profile.release(start, end, nodes);
+        ref.ops.emplace_back(start, end, nodes);
+      } else {
+        profile.reserve(start, end, nodes);
+        ref.ops.emplace_back(start, end, -nodes);
+      }
+    }
+    for (SimTime t = 0; t < 200; t += 7) {
+      ASSERT_EQ(profile.available_at(t), ref.available_at(t)) << "round " << round
+                                                              << " t=" << t;
+    }
+    for (int q = 0; q < 20; ++q) {
+      const int nodes = 1 + static_cast<int>(rnd(static_cast<std::uint64_t>(capacity) + 2));
+      const SimTime dur = static_cast<SimTime>(rnd(70));
+      const SimTime not_before = static_cast<SimTime>(rnd(150));
+      ASSERT_EQ(profile.earliest_start(nodes, dur, not_before),
+                ref.earliest_start(nodes, dur, not_before))
+          << "round " << round << " nodes=" << nodes << " dur=" << dur
+          << " not_before=" << not_before;
+      const SimTime ws = static_cast<SimTime>(rnd(150));
+      const SimTime wd = 1 + static_cast<SimTime>(rnd(60));
+      int expect_min = ref.available_at(ws);
+      for (SimTime t = ws; t < ws + wd; ++t) {
+        expect_min = std::min(expect_min, ref.available_at(t));
+      }
+      ASSERT_EQ(profile.min_available(ws, wd), expect_min)
+          << "round " << round << " ws=" << ws << " wd=" << wd;
+    }
+  }
 }
 
 }  // namespace
