@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -75,18 +76,27 @@ struct BenchContext {
   }
 };
 
+/// Split a comma-separated flag value into its non-empty tokens.
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  for (std::size_t pos = 0; pos < csv.size();) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) out.push_back(token);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 /// Parse a "--workloads=1,3,4"-style list (values clamped to 1..5).
 inline std::vector<int> parse_workload_list(const std::string& csv,
                                             std::vector<int> fallback) {
-  if (csv.empty()) return fallback;
   std::vector<int> out;
-  for (std::size_t pos = 0; pos < csv.size();) {
-    const std::size_t comma = csv.find(',', pos);
-    const std::string token = csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+  for (const std::string& token : split_csv(csv)) {
     const int which = std::atoi(token.c_str());
     if (which >= 1 && which <= 5) out.push_back(which);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
   }
   return out.empty() ? fallback : out;
 }
@@ -237,9 +247,13 @@ inline MaxsdSweepOutput run_maxsd_sweep(const std::vector<int>& workloads,
 
 /// Write the machine-readable bench document ("sdsched-bench-v1"): context,
 /// every cell's report and wall-clock, plus the normalized rows (if any).
+/// `extra`, when given, is invoked inside the top-level object so a bench
+/// can append bench-specific keys (e.g. trace_replay's "traces" array);
+/// docs/bench-format.md documents the schema including the extensions.
 inline void write_bench_json(const std::string& path, const char* bench_id,
                              const BenchContext& ctx, const SweepExecution& exec,
-                             const std::vector<SweepRow>& rows = {}) {
+                             const std::vector<SweepRow>& rows = {},
+                             const std::function<void(JsonWriter&)>& extra = {}) {
   if (path.empty()) return;
   JsonWriter json;
   json.begin_object();
@@ -280,6 +294,7 @@ inline void write_bench_json(const std::string& path, const char* bench_id,
     json.end_object();
   }
   json.end_array();
+  if (extra) extra(json);
   json.end_object();
   write_text_file(path, json.str());
   std::printf("  (json written to %s)\n", path.c_str());

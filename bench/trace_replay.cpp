@@ -1,0 +1,171 @@
+// trace_replay: run the registered real-system traces (workload/
+// trace_catalog.h — CEA Curie and RICC) through every scheduler and the
+// MAXSD cut-off sweep, reporting the burst-coalescing counters that real
+// same-second submit bursts exercise far harder than synthetic arrivals.
+//
+// By default each trace loads from its bundled downsampled fixture
+// (data/traces/<name>_sample.swf) at the FULL machine size — 5040 nodes for
+// Curie — so the run is cheap in jobs but real in scale. In addition to the
+// standard bench flags (bench_common.h):
+//
+//   --traces=curie,ricc     restrict the trace list
+//   --synthesize            ignore fixtures; synthesize_like() at --scale
+//                           (default synthesis scale 0.02)
+//   --max-jobs=N            cap jobs per trace after scaling
+//   --write-fixtures=DIR    regenerate the bundled fixtures into DIR and exit
+//   --fixture-jobs=N        fixture size for --write-fixtures (default 2500,
+//                           the size of the committed data/traces fixtures)
+#include "bench_common.h"
+
+#include "workload/trace_catalog.h"
+#include "workload/workload_stats.h"
+
+namespace {
+
+using namespace sdsched;
+using namespace sdsched::bench;
+
+std::vector<std::string> parse_trace_list(const std::string& csv) {
+  std::vector<std::string> names = split_csv(csv);
+  if (names.empty()) {
+    for (const auto& info : trace_catalog()) names.push_back(info.name);
+  }
+  return names;
+}
+
+struct TraceEntry {
+  LoadedTrace loaded;
+  MachineConfig machine;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx = BenchContext::from_args(argc, argv);
+  const CliArgs args(argc, argv);
+
+  if (const std::string dir = args.get_or("write-fixtures", ""); !dir.empty()) {
+    const auto n_jobs = static_cast<std::size_t>(args.get_int("fixture-jobs", 2500));
+    for (const auto& info : trace_catalog()) {
+      write_trace_fixture(info, dir + "/" + info.name + "_sample.swf", n_jobs);
+    }
+    return 0;
+  }
+
+  print_banner("Trace replay", "real-trace grid: schedulers x SD policies",
+               "W3/W4 replay real logs (RICC-2010, CEA-Curie-2011); same-second "
+               "submit bursts coalesce into one pass on the non-SD schedulers");
+
+  const bool synthesize = args.get_bool("synthesize");
+  const double scale = args.get_bool("full")
+                           ? 1.0
+                           : args.get_double("scale", synthesize ? 0.02 : 1.0);
+  // One scale governs every trace here; mirror it into the JSON context so
+  // the document records what actually ran.
+  ctx.scale_small = ctx.scale_curie = ctx.scale_w5 = scale;
+
+  GridBuilder grid;
+  std::vector<TraceEntry> traces;
+  for (const auto& name : parse_trace_list(args.get_or("traces", ""))) {
+    TraceLoadOptions options;
+    options.scale = scale;
+    options.seed = ctx.seed;
+    options.allow_fixture = !synthesize;
+    options.max_jobs = static_cast<std::size_t>(args.get_int("max-jobs", 0));
+    TraceEntry entry;
+    entry.loaded = load_trace(name, options);
+    const TraceInfo& info = entry.loaded.info;
+    entry.machine = trace_machine(entry.loaded);
+
+    const WorkloadStats& stats = entry.loaded.validation.stats;
+    std::printf("  %s (%s): %zu jobs on %d nodes x %d cores; %zu jobs in same-second "
+                "bursts (max %zu)\n",
+                info.label.c_str(), entry.loaded.source.c_str(),
+                entry.loaded.workload.size(), entry.machine.nodes,
+                entry.machine.node.sockets * entry.machine.node.cores_per_socket,
+                stats.same_time_submits, stats.max_submit_burst);
+
+    // The grid: static backfill (the normalization baseline), plain FCFS,
+    // and SD-Policy under every cut-off variant, all on shared job storage.
+    grid.baseline(info.label + "/backfill", entry.loaded.workload,
+                  baseline_config(entry.machine));
+    SimulationConfig fcfs_cfg = baseline_config(entry.machine);
+    fcfs_cfg.policy = PolicyKind::Fcfs;
+    grid.variant(info.label, "fcfs", 0, entry.loaded.workload, fcfs_cfg);
+    for (const auto& variant : maxsd_sweep()) {
+      grid.variant(info.label, variant.label, 0, entry.loaded.workload,
+                   sd_config(entry.machine, variant.cutoff));
+    }
+    traces.push_back(std::move(entry));
+  }
+
+  const SweepExecution exec = grid.run(ctx);
+
+  std::printf("\nAverage slowdown normalized to static backfill (<1 = variant wins):\n\n");
+  std::vector<std::string> header{"trace", "fcfs"};
+  for (const auto& variant : maxsd_sweep()) header.push_back(variant.label);
+  AsciiTable table(header);
+  for (const auto& entry : traces) {
+    std::vector<std::string> row{entry.loaded.info.label};
+    for (const auto& r : grid.rows) {
+      if (r.workload == entry.loaded.info.label) {
+        row.push_back(AsciiTable::num(r.normalized.avg_slowdown, 3));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\nKernel burst metrics per cell (bursts coalesce on non-SD schedulers):\n\n");
+  AsciiTable bursts({"cell", "events", "passes", "submits_coalesced", "ticks_cancelled"});
+  std::uint64_t total_coalesced = 0;
+  for (const auto& result : exec.results) {
+    const SimulationReport& report = result.report;
+    bursts.add_row({result.name, std::to_string(report.events_fired),
+                    std::to_string(report.scheduling_passes),
+                    std::to_string(report.submits_coalesced),
+                    std::to_string(report.ticks_cancelled)});
+    total_coalesced += report.submits_coalesced;
+  }
+  bursts.print();
+  std::printf("\n%llu submits coalesced across the grid\n",
+              static_cast<unsigned long long>(total_coalesced));
+  // Every grid contains coalescing-eligible cells (backfill, fcfs), so if
+  // the loaded traces carry same-second bursts and *nothing* coalesced, the
+  // kernel's burst handling regressed — fail the run (CI relies on this).
+  std::size_t bursty_inputs = 0;
+  for (const auto& entry : traces) {
+    if (entry.loaded.validation.stats.same_time_submits > 0) ++bursty_inputs;
+  }
+  if (bursty_inputs > 0 && total_coalesced == 0) {
+    std::fprintf(stderr,
+                 "ERROR: %zu trace(s) carry same-second submit bursts but no submits "
+                 "were coalesced\n",
+                 bursty_inputs);
+    return 1;
+  }
+
+  write_bench_json(ctx.json_path, "trace_replay", ctx, exec, grid.rows,
+                   [&traces](JsonWriter& json) {
+                     json.key("traces");
+                     json.begin_array();
+                     for (const auto& entry : traces) {
+                       const WorkloadStats& stats = entry.loaded.validation.stats;
+                       json.begin_object();
+                       json.field("name", entry.loaded.info.name);
+                       json.field("label", entry.loaded.info.label);
+                       json.field("source", entry.loaded.source);
+                       json.field("from_fixture", entry.loaded.from_fixture);
+                       json.field("jobs", stats.n_jobs);
+                       json.field("nodes", stats.system_nodes);
+                       json.field("max_job_nodes", stats.max_job_nodes);
+                       json.field("offered_load", stats.offered_load);
+                       json.field("same_time_submits", stats.same_time_submits);
+                       json.field("max_submit_burst", stats.max_submit_burst);
+                       json.field("distinct_submit_times", stats.distinct_submit_times);
+                       json.end_object();
+                     }
+                     json.end_array();
+                   });
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "workload/app_profiles.h"
 #include "workload/cirne.h"
 #include "workload/synthetic_logs.h"
+#include "workload/trace_catalog.h"
 
 namespace sdsched {
 
@@ -98,6 +99,28 @@ PaperWorkload paper_workload(int which, double scale, std::uint64_t seed) {
     default:
       throw std::invalid_argument("paper_workload: which must be 1..5");
   }
+}
+
+MachineConfig trace_machine(const LoadedTrace& loaded) {
+  // Fixture loads keep the documented machine; synthesized traces scale the
+  // machine with the workload (workload.info carries the generated size).
+  const int sockets = std::max(1, loaded.info.sockets);
+  return machine_of(loaded.workload.info().system_nodes, sockets,
+                    std::max(1, loaded.workload.info().cores_per_node / sockets));
+}
+
+PaperWorkload trace_workload(const std::string& name, double scale, std::uint64_t seed,
+                             bool prefer_fixture) {
+  TraceLoadOptions options;
+  options.scale = std::clamp(scale, 0.001, 1.0);
+  options.seed = seed;
+  options.allow_fixture = prefer_fixture;
+  const LoadedTrace loaded = load_trace(name, options);
+  PaperWorkload pw;
+  pw.label = loaded.info.label;
+  pw.workload = loaded.workload;
+  pw.machine = trace_machine(loaded);
+  return pw;
 }
 
 SimulationConfig baseline_config(const MachineConfig& machine) {

@@ -13,6 +13,7 @@
 
 #include "api/simulation.h"
 #include "metrics/summary.h"
+#include "workload/trace_catalog.h"
 #include "workload/workload.h"
 
 namespace sdsched {
@@ -31,6 +32,20 @@ struct PaperWorkload {
 ///  5 Cirne_real_run 2000 jobs / 49 nodes x 48, Table-2 applications
 [[nodiscard]] PaperWorkload paper_workload(int which, double scale = 1.0,
                                            std::uint64_t seed = 0);
+
+/// A registered real-system trace (workload/trace_catalog.h) as a
+/// PaperWorkload: the bundled downsampled fixture when present (scale < 1
+/// keeps the earliest fraction), else synthesize_like() at `scale`. The
+/// machine is the trace's documented shape — full size for fixtures, scaled
+/// with the workload for synthesized traces.
+[[nodiscard]] PaperWorkload trace_workload(const std::string& name, double scale = 1.0,
+                                           std::uint64_t seed = 0,
+                                           bool prefer_fixture = true);
+
+/// The machine a loaded trace targets: the workload's (possibly scaled)
+/// node count with the trace's documented socket split. The single source
+/// of this derivation — trace_workload and the trace benches share it.
+[[nodiscard]] MachineConfig trace_machine(const LoadedTrace& loaded);
 
 /// Static-backfill baseline configuration for a machine.
 [[nodiscard]] SimulationConfig baseline_config(const MachineConfig& machine);

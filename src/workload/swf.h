@@ -1,14 +1,9 @@
 // Standard Workload Format (Feitelson) reader/writer.
 //
-// Field layout (18 whitespace-separated columns, ';' comments):
-//   1 job number      2 submit time     3 wait time      4 run time
-//   5 procs allocated 6 avg cpu time    7 used memory    8 procs requested
-//   9 time requested 10 memory req     11 status        12 user id
-//  13 group id       14 executable     15 queue         16 partition
-//  17 preceding job  18 think time
-// We consume submit, run time, requested (falling back to allocated) procs,
-// requested time, status and user id; the writer emits all 18 columns so
-// produced traces round-trip through other SWF tools.
+// The 18-column field layout, which columns we consume, and the
+// status/estimate sanitization rules are documented in docs/workloads.md
+// ("SWF field mapping"). The writer emits all 18 columns so produced traces
+// round-trip through other SWF tools.
 #pragma once
 
 #include <iosfwd>
@@ -21,6 +16,12 @@ namespace sdsched {
 struct SwfReadOptions {
   bool skip_failed = false;      ///< drop status==0 (failed) jobs
   bool skip_cancelled = true;    ///< drop status==5 (cancelled) jobs
+  /// Failed jobs are *kept* by default, but the archives record many of
+  /// them with zero/negative run times (and occasionally no request), which
+  /// would produce degenerate JobSpecs that prepare_for() silently drops.
+  /// Sanitizing clamps run time to >= 1s, submit to >= 0 and the request to
+  /// >= the run time, and warns once per read with the clamp count.
+  bool sanitize = true;
   std::size_t max_jobs = 0;      ///< 0 = unlimited
   MalleabilityClass default_malleability = MalleabilityClass::Malleable;
 };

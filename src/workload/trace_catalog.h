@@ -1,0 +1,119 @@
+// Catalog of named real-system traces (CEA Curie, RICC) and the machinery
+// to get them into shared immutable Workload storage.
+//
+// Each registered trace resolves through two sources, in order:
+//
+//   1. a bundled downsampled SWF *fixture* (data/traces/<name>_sample.swf —
+//      a deterministic, burst-preserving sample at the full machine size,
+//      regenerable with `trace_replay --write-fixtures=DIR`), loaded via
+//      read_swf with runtime-estimate sanitization; or, when no fixture is
+//      available,
+//   2. synthesize_like(), a statistical generator that reproduces the
+//      trace's documented arrival-burst, size and runtime distributions at
+//      an arbitrary scale.
+//
+// Either way load_trace() returns a workload that is normalized, prepared
+// for the trace's machine (so Simulations and SweepCells share one copy of
+// the job storage), and validated against the trace's documented shape.
+// Provenance, licensing and the fixture format are documented in
+// docs/workloads.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+#include "workload/workload_stats.h"
+
+namespace sdsched {
+
+/// One registered trace: identity, provenance and the documented shape that
+/// synthesize_like() reproduces and validate_trace() checks.
+struct TraceInfo {
+  std::string name;          ///< catalog key, e.g. "curie"
+  std::string label;         ///< short display label, e.g. "Curie"
+  std::string system;        ///< machine description
+  std::string archive_file;  ///< Parallel Workloads Archive file of the full log
+  std::size_t full_log_jobs = 0;  ///< job count of the cleaned full log
+  int nodes = 0;
+  int cores_per_node = 0;
+  int sockets = 2;
+  /// Documented same-second submit-burst structure (scripted submissions and
+  /// job arrays): the probability that an arrival opens a same-timestamp
+  /// group, and the largest group synthesize_like() *draws* (arrivals that
+  /// naturally share the leader's second are absorbed on top).
+  double burst_fraction = 0.0;
+  int max_burst = 1;
+  double avg_offered_load = 1.0;  ///< log-wide average offered load
+  double pct_malleable = 1.0;     ///< malleability-class assignment on load
+  std::uint64_t default_seed = 0;
+};
+
+/// All registered traces (immutable; safe to read from sweep workers).
+[[nodiscard]] const std::vector<TraceInfo>& trace_catalog();
+
+/// Lookup by catalog key; nullptr when unknown.
+[[nodiscard]] const TraceInfo* find_trace(const std::string& name);
+
+/// Statistical stand-in for the full log: the synthetic_logs size/runtime/
+/// estimate mixtures at `scale` (nodes and job count shrink together, like
+/// paper_workload), plus the trace's same-second submit-burst layer.
+/// Deterministic in (info, scale, seed); seed 0 = the trace's default.
+[[nodiscard]] Workload synthesize_like(const TraceInfo& info, double scale = 1.0,
+                                       std::uint64_t seed = 0);
+
+struct TraceLoadOptions {
+  double scale = 1.0;        ///< synthesis scale; fixtures truncate when < 1
+  /// 0 = trace default. Drives synthesis and, when the trace's
+  /// pct_malleable < 1, the malleability assignment of fixture loads too
+  /// (a no-op for the bundled traces, which are 100% malleable).
+  std::uint64_t seed = 0;
+  bool allow_fixture = true;
+  bool allow_synthesis = true;  ///< fall back to synthesize_like()
+  std::string fixture_dir;      ///< "" = $SDSCHED_TRACE_DIR, else the bundled dir
+  std::size_t max_jobs = 0;     ///< hard cap after scaling (0 = none)
+};
+
+/// Result of sanity-checking a workload against a trace's documented shape
+/// (non-empty, job sizes within the machine, plausible load and request
+/// accuracy, bursts present when the trace documents them). `stats` is the
+/// full characterization, so callers don't have to re-run characterize().
+struct TraceValidation {
+  bool ok = true;
+  std::vector<std::string> issues;
+  WorkloadStats stats;
+};
+
+struct LoadedTrace {
+  TraceInfo info;
+  Workload workload;  ///< normalized + prepared for info's machine (shared storage)
+  bool from_fixture = false;
+  std::string source;  ///< fixture path, or "synthesize_like"
+  TraceValidation validation;
+};
+
+/// Resolve and load a registered trace. Throws std::invalid_argument for an
+/// unknown name and std::runtime_error when every allowed source fails.
+/// Validation issues are logged as warnings, never fatal; inspect
+/// `LoadedTrace::validation` to make them so.
+[[nodiscard]] LoadedTrace load_trace(const std::string& name,
+                                     const TraceLoadOptions& options = {});
+
+[[nodiscard]] TraceValidation validate_trace(const Workload& workload,
+                                             const TraceInfo& info);
+
+/// Where load_trace() looks for `info`'s fixture: `dir` if non-empty, else
+/// the SDSCHED_TRACE_DIR environment variable, else the bundled data/traces
+/// directory baked in at build time.
+[[nodiscard]] std::string default_fixture_path(const TraceInfo& info,
+                                               const std::string& dir = "");
+
+/// Regenerate `info`'s downsampled fixture: `n_jobs` synthesized jobs at the
+/// FULL machine size, written as 18-column SWF with provenance headers and a
+/// deterministic sprinkle of failed/cancelled statuses so loading exercises
+/// the reader's sanitization path. Deterministic in (info, n_jobs).
+void write_trace_fixture(const TraceInfo& info, const std::string& path,
+                         std::size_t n_jobs);
+
+}  // namespace sdsched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/stats.h"
 #include "util/time_utils.h"
@@ -25,6 +26,8 @@ WorkloadStats characterize(const Workload& workload) {
   SimTime first = workload.jobs().front().submit;
   SimTime last = first;
   std::size_t malleable = 0;
+  std::unordered_map<SimTime, std::size_t> submit_groups;
+  submit_groups.reserve(workload.size());
   for (const auto& spec : workload.jobs()) {
     runtime_stats.add(static_cast<double>(spec.base_runtime));
     runtimes.push_back(static_cast<double>(spec.base_runtime));
@@ -37,6 +40,12 @@ WorkloadStats characterize(const Workload& workload) {
     stats.max_job_nodes = std::max(stats.max_job_nodes, spec.req_nodes);
     stats.max_job_cpus = std::max(stats.max_job_cpus, spec.req_cpus);
     if (spec.malleability == MalleabilityClass::Malleable) ++malleable;
+    ++submit_groups[spec.submit];
+  }
+  stats.distinct_submit_times = submit_groups.size();
+  for (const auto& [time, count] : submit_groups) {
+    if (count > 1) stats.same_time_submits += count;
+    stats.max_submit_burst = std::max(stats.max_submit_burst, count);
   }
   stats.submit_span = last - first;
   stats.mean_runtime = runtime_stats.mean();
@@ -61,7 +70,10 @@ std::string to_string(const WorkloadStats& stats) {
       << " / " << format_duration(static_cast<SimTime>(stats.median_runtime)) << "\n"
       << "  offered load: " << stats.offered_load
       << ", request accuracy: " << stats.request_accuracy
-      << ", malleable: " << stats.pct_malleable * 100.0 << "%\n";
+      << ", malleable: " << stats.pct_malleable * 100.0 << "%\n"
+      << "  submit bursts: " << stats.same_time_submits << " jobs in same-second groups"
+      << " (max burst " << stats.max_submit_burst << ", " << stats.distinct_submit_times
+      << " distinct times)\n";
   return oss.str();
 }
 

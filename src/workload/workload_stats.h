@@ -23,6 +23,14 @@ struct WorkloadStats {
   double offered_load = 0.0;
   double request_accuracy = 0.0;  ///< mean(base_runtime / req_time), 1 = exact
   double pct_malleable = 0.0;
+
+  // Submit-burst structure. Real logs (scripted submissions, array jobs)
+  // carry heavy same-second submit bursts that synthetic Poisson arrivals
+  // lack; these drive the kernel's burst coalescing, so trace validation
+  // checks them explicitly.
+  std::size_t distinct_submit_times = 0;
+  std::size_t same_time_submits = 0;  ///< jobs sharing a submit second with another job
+  std::size_t max_submit_burst = 0;   ///< largest same-second submit group
 };
 
 [[nodiscard]] WorkloadStats characterize(const Workload& workload);

@@ -1,0 +1,89 @@
+// Shared plumbing for the golden-parity harnesses (W1 grid, Curie trace
+// slice): the per-job-record digest and the compare-or-regenerate protocol.
+//
+// Goldens are reviewed artifacts committed under tests/golden/, never
+// regenerated silently. To regenerate intentionally (only when a PR *means*
+// to change scheduling decisions), run the test binary with
+// SDSCHED_UPDATE_GOLDEN=1 and commit the refreshed file with an explanation.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+
+namespace sdsched::golden {
+
+/// Resolve a "/golden/<name>.golden.json" path against the source tree.
+inline std::string golden_path(const char* rel_path) {
+#ifdef SDSCHED_TESTS_DIR
+  return std::string(SDSCHED_TESTS_DIR) + rel_path;
+#else
+  return std::string("tests") + rel_path;
+#endif
+}
+
+/// FNV-1a 64 over a textual field-wise serialization of every job record;
+/// any change to any field of any record changes the digest.
+inline std::uint64_t records_digest(const std::vector<JobRecord>& records) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](std::int64_t v) {
+    char buf[32];
+    const int n = std::snprintf(buf, sizeof buf, "%lld|", static_cast<long long>(v));
+    for (int i = 0; i < n; ++i) {
+      hash ^= static_cast<unsigned char>(buf[i]);
+      hash *= 1099511628211ULL;
+    }
+  };
+  for (const auto& r : records) {
+    mix(r.id);
+    mix(r.submit);
+    mix(r.start);
+    mix(r.end);
+    mix(r.req_time);
+    mix(r.base_runtime);
+    mix(r.req_cpus);
+    mix(r.req_nodes);
+    mix(r.was_guest ? 1 : 0);
+    mix(r.was_mate ? 1 : 0);
+    mix(r.reconfigurations);
+  }
+  return hash;
+}
+
+/// The compare-or-regenerate protocol. With SDSCHED_UPDATE_GOLDEN set the
+/// golden is rewritten and the test skipped (review and commit the diff);
+/// otherwise `document` must match the committed golden byte-for-byte.
+/// `diverged_hint` is appended to the mismatch message.
+inline void expect_matches_golden(const std::string& document, const char* rel_path,
+                                  const char* diverged_hint) {
+  const std::string path = golden_path(rel_path);
+
+  if (const char* update = std::getenv("SDSCHED_UPDATE_GOLDEN");
+      update != nullptr && update[0] != '\0' && update[0] != '0') {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden file " << path;
+    out << document;
+    out.close();
+    GTEST_SKIP() << "golden intentionally regenerated at " << path
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "golden file missing: " << path
+      << "\nGenerate it intentionally with SDSCHED_UPDATE_GOLDEN=1 and commit it.";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  EXPECT_EQ(document, golden.str()) << diverged_hint;
+}
+
+}  // namespace sdsched::golden

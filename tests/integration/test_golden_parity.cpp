@@ -7,25 +7,16 @@
 // refactor. Scheduling-decision parity is the contract: event and pass
 // counts may change across refactors (they are deliberately excluded here
 // and reported separately in the bench JSON), but per-job records and
-// summaries must stay byte-identical.
-//
-// The golden is never regenerated silently. To regenerate intentionally
-// (only when a PR *means* to change scheduling decisions):
-//
-//   SDSCHED_UPDATE_GOLDEN=1 ./tests/integration/sdsched_test_integration
-//       (optionally with --gtest_filter='GoldenParity.*')
-//
-// and commit the refreshed tests/golden/w1_grid.golden.json with an
-// explanation of why decisions changed.
+// summaries must stay byte-identical. The regenerate protocol
+// (SDSCHED_UPDATE_GOLDEN=1) is documented in golden_common.h; the real-trace
+// counterpart of this test lives in test_golden_trace.cpp.
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "api/experiment.h"
+#include "golden_common.h"
 #include "metrics/summary.h"
 #include "util/json.h"
 
@@ -33,42 +24,6 @@ namespace sdsched {
 namespace {
 
 constexpr const char* kGoldenRelPath = "/golden/w1_grid.golden.json";
-
-std::string golden_path() {
-#ifdef SDSCHED_TESTS_DIR
-  return std::string(SDSCHED_TESTS_DIR) + kGoldenRelPath;
-#else
-  return std::string("tests") + kGoldenRelPath;
-#endif
-}
-
-/// FNV-1a 64 over a textual field-wise serialization of every job record;
-/// any change to any field of any record changes the digest.
-std::uint64_t records_digest(const std::vector<JobRecord>& records) {
-  std::uint64_t hash = 1469598103934665603ULL;
-  const auto mix = [&hash](std::int64_t v) {
-    char buf[32];
-    const int n = std::snprintf(buf, sizeof buf, "%lld|", static_cast<long long>(v));
-    for (int i = 0; i < n; ++i) {
-      hash ^= static_cast<unsigned char>(buf[i]);
-      hash *= 1099511628211ULL;
-    }
-  };
-  for (const auto& r : records) {
-    mix(r.id);
-    mix(r.submit);
-    mix(r.start);
-    mix(r.end);
-    mix(r.req_time);
-    mix(r.base_runtime);
-    mix(r.req_cpus);
-    mix(r.req_nodes);
-    mix(r.was_guest ? 1 : 0);
-    mix(r.was_mate ? 1 : 0);
-    mix(r.reconfigurations);
-  }
-  return hash;
-}
 
 /// The canonical parity document for the W1 default grid.
 std::string run_w1_grid_document() {
@@ -89,7 +44,7 @@ std::string run_w1_grid_document() {
     json.key("summary");
     to_json(json, report.summary);
     json.field("records", static_cast<std::uint64_t>(report.records.size()));
-    json.field("records_fnv1a", records_digest(report.records));
+    json.field("records_fnv1a", golden::records_digest(report.records));
     json.end_object();
   };
 
@@ -104,31 +59,12 @@ std::string run_w1_grid_document() {
 }
 
 TEST(GoldenParity, W1DefaultGridMatchesPreRefactorGolden) {
-  const std::string document = run_w1_grid_document();
-  const std::string path = golden_path();
-
-  if (const char* update = std::getenv("SDSCHED_UPDATE_GOLDEN");
-      update != nullptr && update[0] != '\0' && update[0] != '0') {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    ASSERT_TRUE(out.good()) << "cannot write golden file " << path;
-    out << document;
-    out.close();
-    GTEST_SKIP() << "golden intentionally regenerated at " << path
-                 << " — review and commit the diff";
-  }
-
-  std::ifstream in(path, std::ios::binary);
-  ASSERT_TRUE(in.good())
-      << "golden file missing: " << path
-      << "\nGenerate it intentionally with SDSCHED_UPDATE_GOLDEN=1 and commit it.";
-  std::ostringstream golden;
-  golden << in.rdbuf();
-
-  EXPECT_EQ(document, golden.str())
-      << "W1 grid diverged from the pre-refactor golden. Per-job records and "
-         "metric summaries must stay byte-identical across scheduler-state "
-         "refactors; if this PR intends to change scheduling decisions, "
-         "regenerate with SDSCHED_UPDATE_GOLDEN=1 and justify the diff.";
+  golden::expect_matches_golden(
+      run_w1_grid_document(), kGoldenRelPath,
+      "W1 grid diverged from the pre-refactor golden. Per-job records and "
+      "metric summaries must stay byte-identical across scheduler-state "
+      "refactors; if this PR intends to change scheduling decisions, "
+      "regenerate with SDSCHED_UPDATE_GOLDEN=1 and justify the diff.");
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+// Curie-scale golden-parity slice (real-trace safety net).
+//
+// The W1 golden (test_golden_parity.cpp) pins the steady synthetic-arrival
+// path; this test pins the *burst* path the real traces exercise: the
+// earliest half of the bundled Curie fixture — same-second submit bursts on
+// the full 5040-node machine, including the sanitizer-clamped failed rows —
+// replayed under static backfill and SD-Policy MAXSD 10. Per-job records
+// and summaries must stay byte-identical across refactors; burst coalescing
+// itself must keep firing (a regression that stops coalescing, or one that
+// lets coalescing change decisions, both fail here).
+//
+// Regenerate intentionally with SDSCHED_UPDATE_GOLDEN=1 (see
+// golden_common.h) and commit the refreshed
+// tests/golden/curie_trace.golden.json with a justification.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "api/experiment.h"
+#include "golden_common.h"
+#include "metrics/summary.h"
+#include "util/json.h"
+#include "workload/workload_stats.h"
+
+namespace sdsched {
+namespace {
+
+constexpr const char* kGoldenRelPath = "/golden/curie_trace.golden.json";
+
+TEST(GoldenTrace, CurieFixtureSliceMatchesGolden) {
+  const PaperWorkload pw = trace_workload("curie", /*scale=*/0.5);
+  ASSERT_GT(pw.workload.size(), 0u);
+  ASSERT_EQ(pw.machine.nodes, 5040) << "Curie fixture must keep the full machine";
+
+  // The real-trace regime this slice exists for: same-second submit bursts.
+  const WorkloadStats stats = characterize(pw.workload);
+  ASSERT_GT(stats.same_time_submits, 0u)
+      << "Curie fixture lost its submit bursts — regenerate data/traces";
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "sdsched-golden-v1");
+  json.field("grid", "curie fixture 50% slice: backfill + MAXSD 10");
+  json.field("jobs", static_cast<std::uint64_t>(pw.workload.size()));
+  json.key("cells");
+  json.begin_array();
+
+  std::uint64_t backfill_coalesced = 0;
+  std::uint64_t sd_guests = 0;
+  const auto emit_cell = [&](const std::string& name, const SimulationConfig& cfg) {
+    const SimulationReport report = Simulation(cfg, pw.workload).run();
+    if (cfg.policy == PolicyKind::Backfill) backfill_coalesced = report.submits_coalesced;
+    if (cfg.policy == PolicyKind::SdPolicy) sd_guests = report.summary.guests;
+    json.begin_object();
+    json.field("name", name);
+    json.key("summary");
+    to_json(json, report.summary);
+    json.field("records", static_cast<std::uint64_t>(report.records.size()));
+    json.field("records_fnv1a", golden::records_digest(report.records));
+    json.end_object();
+  };
+
+  emit_cell("curie/backfill", baseline_config(pw.machine));
+  emit_cell("curie/MAXSD 10", sd_config(pw.machine, CutoffConfig::max_sd(10.0)));
+
+  json.end_array();
+  json.end_object();
+
+  // Coalescing must actually fire on the non-SD cell — that is the behaviour
+  // this slice pins. (Counters are excluded from the golden document itself,
+  // like the W1 grid, so legitimate pass-count refactors only have to keep
+  // decisions identical.)
+  EXPECT_GT(backfill_coalesced, 0u)
+      << "no same-timestamp submits were coalesced on the backfill cell";
+  EXPECT_GT(sd_guests, 0u) << "the SD cell no longer schedules any malleable guests";
+
+  golden::expect_matches_golden(
+      json.str(), kGoldenRelPath,
+      "Curie trace slice diverged from the committed golden. Per-job records "
+      "and summaries must stay byte-identical across refactors; if this PR "
+      "intends to change scheduling decisions, regenerate with "
+      "SDSCHED_UPDATE_GOLDEN=1 and justify the diff.");
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -57,6 +57,46 @@ TEST(Swf, SkipOptions) {
   EXPECT_EQ(read_swf(in2, strict).size(), 2u);
 }
 
+// skip_failed is asymmetric by design: failed (status 0) jobs are *kept* by
+// default, but the archives record them with -1/0 run times that used to
+// produce degenerate JobSpecs which prepare_for() silently dropped. The
+// default sanitize option clamps them (and warns once per read) instead.
+TEST(Swf, KeptFailedJobWithDegenerateRuntimeIsClamped) {
+  std::istringstream in(
+      "1 0 -1 100 8 -1 -1 8 200 -1 1 5 -1 -1 -1 -1 -1 -1\n"
+      "2 70 -1 -1 4 -1 -1 4 -1 -1 0 8 -1 -1 -1 -1 -1 -1\n"   // failed, runtime -1
+      "3 80 -1 0 4 -1 -1 4 50 -1 0 8 -1 -1 -1 -1 -1 -1\n");  // failed, runtime 0
+  const Workload w = read_swf(in);
+  ASSERT_EQ(w.size(), 3u);  // failed jobs kept by default
+  EXPECT_EQ(w.jobs()[1].base_runtime, 1);
+  EXPECT_EQ(w.jobs()[1].req_time, 1);  // request fell back to the clamped runtime
+  EXPECT_EQ(w.jobs()[2].base_runtime, 1);
+  EXPECT_EQ(w.jobs()[2].req_time, 50);
+
+  // The clamped specs survive preparation instead of being silently dropped.
+  Workload prepared = w;
+  EXPECT_EQ(prepared.prepare_for(64, 8), 0u);
+  EXPECT_EQ(prepared.size(), 3u);
+}
+
+TEST(Swf, SanitizeClampsNegativeSubmitAndLowRequest) {
+  std::istringstream in("1 -5 -1 100 8 -1 -1 8 30 -1 1 5 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.jobs().front().submit, 0);
+  EXPECT_EQ(w.jobs().front().req_time, 100);  // raised to the run time
+}
+
+TEST(Swf, SanitizeDisabledKeepsRawValues) {
+  SwfReadOptions raw;
+  raw.sanitize = false;
+  std::istringstream in("2 70 -1 -1 4 -1 -1 4 -1 -1 0 8 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in, raw);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.jobs().front().base_runtime, -1);
+  EXPECT_EQ(w.jobs().front().req_time, -1);
+}
+
 TEST(Swf, MaxJobsTruncates) {
   SwfReadOptions options;
   options.max_jobs = 1;

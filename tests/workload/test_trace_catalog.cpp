@@ -1,0 +1,219 @@
+#include "workload/trace_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "workload/swf.h"
+#include "workload/workload_stats.h"
+
+namespace sdsched {
+namespace {
+
+TEST(TraceCatalog, RegistersCurieAndRicc) {
+  ASSERT_GE(trace_catalog().size(), 2u);
+  const TraceInfo* curie = find_trace("curie");
+  ASSERT_NE(curie, nullptr);
+  EXPECT_EQ(curie->nodes, 5040);
+  EXPECT_EQ(curie->cores_per_node, 16);
+  EXPECT_GT(curie->burst_fraction, 0.0);
+  const TraceInfo* ricc = find_trace("ricc");
+  ASSERT_NE(ricc, nullptr);
+  EXPECT_EQ(ricc->nodes, 1024);
+  EXPECT_EQ(find_trace("nonexistent"), nullptr);
+  EXPECT_THROW((void)load_trace("nonexistent"), std::invalid_argument);
+}
+
+TEST(TraceCatalog, SynthesizeLikeIsDeterministicAndBursty) {
+  const TraceInfo& info = *find_trace("curie");
+  const Workload a = synthesize_like(info, /*scale=*/0.002, /*seed=*/42);
+  const Workload b = synthesize_like(info, /*scale=*/0.002, /*seed=*/42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].submit, b.jobs()[i].submit);
+    EXPECT_EQ(a.jobs()[i].base_runtime, b.jobs()[i].base_runtime);
+    EXPECT_EQ(a.jobs()[i].req_cpus, b.jobs()[i].req_cpus);
+  }
+  const Workload c = synthesize_like(info, /*scale=*/0.002, /*seed=*/43);
+  EXPECT_NE(c.jobs()[0].base_runtime * c.jobs()[1].base_runtime,
+            a.jobs()[0].base_runtime * a.jobs()[1].base_runtime);
+
+  // The burst layer is the point: same-second submit groups must exist.
+  // (No upper bound is asserted: max_burst caps the *drawn* group, but
+  // arrivals that naturally share the leader's second are absorbed into it,
+  // so a pathological base draw could legally exceed it.)
+  const WorkloadStats stats = characterize(a);
+  EXPECT_GT(stats.same_time_submits, 0u);
+  EXPECT_GT(stats.max_submit_burst, 1u);
+  EXPECT_TRUE(validate_trace(a, info).ok);
+}
+
+TEST(TraceCatalog, LoadTraceFromFixtureKeepsFullMachineAndBursts) {
+  for (const char* name : {"curie", "ricc"}) {
+    const LoadedTrace loaded = load_trace(name);
+    const TraceInfo& info = loaded.info;
+    EXPECT_TRUE(loaded.from_fixture) << name << " fixture missing under data/traces";
+    EXPECT_EQ(loaded.workload.info().system_nodes, info.nodes);
+    EXPECT_EQ(loaded.workload.info().cores_per_node, info.cores_per_node);
+    EXPECT_EQ(loaded.workload.info().name, info.name);
+    EXPECT_TRUE(loaded.workload.prepared_for(info.nodes, info.cores_per_node));
+    const TraceValidation validation = validate_trace(loaded.workload, info);
+    EXPECT_TRUE(validation.ok) << (validation.issues.empty() ? std::string("?")
+                                                             : validation.issues.front());
+    EXPECT_GT(validation.stats.same_time_submits, 0u);
+    // Sanitization: the fixtures deliberately carry failed rows with the
+    // archives' "-1 runtime" quirk; every loaded spec must be runnable.
+    for (const auto& spec : loaded.workload.jobs()) {
+      EXPECT_GE(spec.base_runtime, 1);
+      EXPECT_GE(spec.req_time, spec.base_runtime);
+      EXPECT_GE(spec.submit, 0);
+    }
+  }
+}
+
+TEST(TraceCatalog, FixtureScaleKeepsEarliestFraction) {
+  const LoadedTrace full = load_trace("ricc");
+  TraceLoadOptions options;
+  options.scale = 0.25;
+  const LoadedTrace quarter = load_trace("ricc", options);
+  ASSERT_LT(quarter.workload.size(), full.workload.size());
+  ASSERT_GE(quarter.workload.size(), 50u);
+  for (std::size_t i = 0; i < quarter.workload.size(); ++i) {
+    EXPECT_EQ(quarter.workload.jobs()[i].submit, full.workload.jobs()[i].submit);
+  }
+  // Machine shape is unchanged — a fixture slice is still a full-size run.
+  EXPECT_EQ(quarter.workload.info().system_nodes, full.workload.info().system_nodes);
+
+  TraceLoadOptions capped;
+  capped.max_jobs = 60;
+  EXPECT_EQ(load_trace("ricc", capped).workload.size(), 60u);
+}
+
+TEST(TraceCatalog, LoadTraceFallsBackToSynthesis) {
+  TraceLoadOptions options;
+  options.allow_fixture = false;
+  options.scale = 0.002;
+  const LoadedTrace loaded = load_trace("curie", options);
+  EXPECT_FALSE(loaded.from_fixture);
+  EXPECT_EQ(loaded.source, "synthesize_like");
+  EXPECT_GT(loaded.workload.size(), 0u);
+
+  TraceLoadOptions neither;
+  neither.fixture_dir = "/nonexistent/fixture/dir";
+  neither.allow_synthesis = false;
+  EXPECT_THROW((void)load_trace("curie", neither), std::runtime_error);
+}
+
+TEST(TraceCatalog, SharedStorageIsNotDeepCopiedPerSimulation) {
+  const LoadedTrace loaded = load_trace("curie");
+  // load_trace prepares for the trace's machine, so a Simulation (or a
+  // SweepCell) constructed from any copy reuses the storage instead of
+  // detaching for another preparation pass.
+  ASSERT_TRUE(
+      loaded.workload.prepared_for(loaded.info.nodes, loaded.info.cores_per_node));
+  Workload copy1 = loaded.workload;
+  Workload copy2 = loaded.workload;
+  EXPECT_TRUE(copy1.shares_jobs_with(loaded.workload));
+  EXPECT_TRUE(copy2.shares_jobs_with(copy1));
+  // prepare_for on an already-prepared copy is a no-op that keeps sharing.
+  copy1.prepare_for(loaded.info.nodes, loaded.info.cores_per_node);
+  EXPECT_TRUE(copy1.shares_jobs_with(loaded.workload));
+}
+
+TEST(TraceCatalog, ValidateTraceFlagsMissingBursts) {
+  const TraceInfo& info = *find_trace("curie");
+  Workload no_bursts;
+  no_bursts.info() = {"no-bursts", 100, 16};
+  for (int i = 0; i < 4; ++i) {
+    JobSpec spec;
+    spec.submit = i * 50;
+    spec.base_runtime = 100;
+    spec.req_time = 100;
+    spec.req_cpus = 16;
+    no_bursts.add(spec);
+  }
+  no_bursts.prepare_for(100, 16);
+  const TraceValidation validation = validate_trace(no_bursts, info);
+  EXPECT_FALSE(validation.ok);
+  bool found = false;
+  for (const auto& issue : validation.issues) {
+    if (issue.find("burst") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "burst issue not reported";
+
+  EXPECT_FALSE(validate_trace(Workload{}, info).ok);
+}
+
+TEST(TraceCatalog, CommittedFixturesMatchTheGenerator) {
+  // Fixtures are committed artifacts, but they must never drift from the
+  // deterministic generator that documents them: regenerating with the
+  // default size must reproduce the bundled files byte-for-byte.
+  for (const auto& info : trace_catalog()) {
+    const std::string committed_path = default_fixture_path(info);
+    std::ifstream committed(committed_path, std::ios::binary);
+    ASSERT_TRUE(committed.good()) << committed_path;
+    std::ostringstream committed_text;
+    committed_text << committed.rdbuf();
+
+    const std::string regenerated_path =
+        ::testing::TempDir() + "/" + info.name + "_regen.swf";
+    write_trace_fixture(info, regenerated_path, 2500);
+    std::ifstream regenerated(regenerated_path, std::ios::binary);
+    ASSERT_TRUE(regenerated.good());
+    std::ostringstream regenerated_text;
+    regenerated_text << regenerated.rdbuf();
+    std::remove(regenerated_path.c_str());
+
+    EXPECT_EQ(committed_text.str(), regenerated_text.str())
+        << info.name << " fixture drifted — regenerate data/traces with "
+        << "trace_replay --write-fixtures and commit the diff";
+  }
+}
+
+TEST(TraceCatalog, SwfRoundTripIsIdentityAtTraceScale) {
+  // Property: write_swf → read_swf is the identity on every field the SWF
+  // mapping preserves, headers included, for a Curie-like workload.
+  const Workload original = synthesize_like(*find_trace("curie"), /*scale=*/0.004);
+  ASSERT_GE(original.size(), 100u);
+
+  std::ostringstream out;
+  write_swf(out, original);
+
+  // Layout property: every job line carries exactly 18 columns.
+  {
+    std::istringstream lines(out.str());
+    std::string line;
+    std::size_t job_lines = 0;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == ';') continue;
+      std::istringstream fields(line);
+      std::string token;
+      int n = 0;
+      while (fields >> token) ++n;
+      EXPECT_EQ(n, 18) << line;
+      ++job_lines;
+    }
+    EXPECT_EQ(job_lines, original.size());
+  }
+
+  std::istringstream in(out.str());
+  const Workload reread = read_swf(in);
+  ASSERT_EQ(reread.size(), original.size());  // writer emits completed statuses only
+  EXPECT_EQ(reread.info().system_nodes, original.info().system_nodes);
+  EXPECT_EQ(reread.info().cores_per_node, original.info().cores_per_node);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const JobSpec& want = original.jobs()[i];
+    const JobSpec& got = reread.jobs()[i];
+    ASSERT_EQ(got.submit, want.submit) << "job " << i;
+    ASSERT_EQ(got.base_runtime, want.base_runtime) << "job " << i;
+    ASSERT_EQ(got.req_cpus, want.req_cpus) << "job " << i;
+    ASSERT_EQ(got.req_time, want.req_time) << "job " << i;
+    ASSERT_EQ(got.user_id, want.user_id) << "job " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sdsched
