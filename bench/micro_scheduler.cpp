@@ -6,12 +6,19 @@
 // `--passes=<n>`), bypasses google-benchmark and runs the incremental-state
 // study: per-scheduling-pass p50/p95 latency and profile breakpoint counts
 // across machine sizes, for the event-driven index (steady and churning
-// clusters) against the historical full-scan rebuild. The JSON lands in the
-// same `sdsched-bench-v1` document family the figure benches emit; CI's
-// bench-smoke job uploads it next to bench.json.
+// clusters) against the historical full-scan rebuild.
+//
+// A third mode, `--sd-pass` (with optional `--json=<path>` and
+// `--selects=<n>`), runs the SD hot-path study: mate-selection p50/p95
+// latency plus candidates-scanned / combinations-evaluated counters across
+// machine sizes, for the incrementally maintained MateRegistry against the
+// historical whole-job-table scan (plans are asserted identical). Both
+// JSON documents land in the same `sdsched-bench-v1` family the figure
+// benches emit; CI's bench-smoke job uploads them next to bench.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +26,7 @@
 
 #include "api/simulation.h"
 #include "cluster/cluster_state_index.h"
+#include "core/mate_registry.h"
 #include "core/mate_selector.h"
 #include "drom/node_manager.h"
 #include "sched/backfill.h"
@@ -305,12 +313,214 @@ int run_pass_metrics(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --sd-pass: the mate-selection hot-path study.
+// ---------------------------------------------------------------------------
+
+struct SdPassStats {
+  std::string label;
+  int nodes = 0;
+  int selects = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double candidates_scanned_per_select = 0.0;
+  std::uint64_t combinations_evaluated = 0;
+  std::uint64_t plans_found = 0;
+};
+
+/// Everything that makes two plans "the same decision" — the divergence
+/// gate compares whole plans, not just the performance-impact scalar (two
+/// different mate sets can tie on PI).
+struct PlanRecord {
+  bool has_plan = false;
+  double performance_impact = 0.0;
+  SimTime guest_increase = 0;
+  std::vector<JobId> mates;
+  std::vector<SimTime> mate_increases;
+  std::vector<std::array<int, 5>> nodes;
+
+  bool operator==(const PlanRecord&) const = default;
+
+  static PlanRecord of(const std::optional<MatePlan>& plan) {
+    PlanRecord record;
+    if (!plan) return record;
+    record.has_plan = true;
+    record.performance_impact = plan->performance_impact;
+    record.guest_increase = plan->guest_increase;
+    record.mates = plan->mates;
+    record.mate_increases = plan->mate_increases;
+    record.nodes.reserve(plan->nodes.size());
+    for (const SharePlan& share : plan->nodes) {
+      record.nodes.push_back({share.node, static_cast<int>(share.mate), share.guest_cpus,
+                              share.mate_kept_cpus, share.guest_static_cpus});
+    }
+    return record;
+  }
+};
+
+/// One machine-size cell of the study: a half-full machine of running
+/// 2-node malleable mates (release waves far in the future) plus a
+/// trace-scale population of inert (pending) jobs that the historical
+/// whole-table scan must wade through. Guests of 1/2/4 nodes cycle through
+/// select(); `use_registry` toggles the incrementally maintained
+/// MateRegistry + free-run index against the historical full scan.
+SdPassStats run_sd_pass_study(const char* label, int node_count, int selects,
+                              bool use_registry, int inert_jobs,
+                              std::vector<PlanRecord>* plans_out) {
+  MachineConfig mc;
+  mc.nodes = node_count;
+  mc.node = NodeConfig{2, 8};  // Curie-shaped: 16 cores per node
+  Machine machine(mc);
+  JobRegistry jobs;
+  DromRegistry drom;
+  NodeManager mgr(machine, jobs, drom);
+  ClusterStateIndex index(machine, jobs);
+
+  const int cores = machine.cores_per_node();
+  const auto add_job = [&](int req_nodes, SimTime req_time) {
+    JobSpec spec;
+    spec.req_cpus = req_nodes * cores;
+    spec.req_nodes = req_nodes;
+    spec.req_time = req_time;
+    spec.base_runtime = req_time;
+    return jobs.add(spec);
+  };
+
+  // Mates: 2-node running jobs on half the machine, 16 release waves.
+  const int running = node_count / 4;
+  for (int i = 0; i < running; ++i) {
+    const JobId id = add_job(2, 1000000);
+    jobs.at(id).state = JobState::Running;
+    jobs.at(id).predicted_end = 1000000 + (i % 16) * 1000;
+    mgr.start_static(0, id, {2 * i, 2 * i + 1});
+  }
+  // Inert population: pending jobs the full scan visits and rejects.
+  for (int i = 0; i < inert_jobs; ++i) add_job(1 + i % 4, 3600);
+  // Guests: pending, short, cycling sizes (all satisfiable by 2-node mates).
+  std::vector<JobId> guests;
+  for (const int size : {2, 4, 2, 2, 4, 2}) guests.push_back(add_job(size, 600));
+
+  MateRegistry registry;
+  registry.seed(jobs);
+  SdConfig sd;
+  MateSelector selector(machine, jobs, sd);
+  if (use_registry) {
+    selector.set_mate_registry(&registry);
+    selector.set_cluster_index(&index);
+  }
+
+  std::vector<double> latencies_ns;
+  latencies_ns.reserve(static_cast<std::size_t>(selects));
+  const MateSelector::SelectStats before = selector.stats();
+  for (int s = 0; s < selects; ++s) {
+    const Job& guest = jobs.at(guests[static_cast<std::size_t>(s) % guests.size()]);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto plan = selector.select(guest, 1000, 1e18);
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_ns.push_back(std::chrono::duration<double, std::nano>(t1 - t0).count());
+    if (plans_out != nullptr) plans_out->push_back(PlanRecord::of(plan));
+  }
+  const MateSelector::SelectStats after = selector.stats();
+
+  SdPassStats stats;
+  stats.label = label;
+  stats.nodes = node_count;
+  stats.selects = selects;
+  stats.p50_ns = percentile_of(latencies_ns, 0.50);
+  stats.p95_ns = percentile_of(latencies_ns, 0.95);
+  stats.candidates_scanned_per_select =
+      static_cast<double>(after.candidates_scanned - before.candidates_scanned) /
+      static_cast<double>(selects);
+  stats.combinations_evaluated =
+      after.combinations_evaluated - before.combinations_evaluated;
+  stats.plans_found = after.plans_found - before.plans_found;
+  return stats;
+}
+
+int run_sd_pass(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int selects = static_cast<int>(args.get_int("selects", 400));
+  const int inert_jobs = static_cast<int>(args.get_int("inert-jobs", 4000));
+  const std::string json_path = args.get_or("json", "");
+
+  std::printf("mate-selection latency (half-full machine of 2-node mates, %d inert jobs)\n",
+              inert_jobs);
+  std::printf("%-10s %8s %10s %10s %14s %10s %8s\n", "case", "nodes", "p50(ns)",
+              "p95(ns)", "scanned/sel", "combos", "plans");
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<SdPassStats> all;
+  for (const int nodes : {256, 1024, 5040}) {
+    // Identical decisions are part of the contract: compare every select's
+    // whole plan (mates, increases, node assignments) between the paths.
+    std::vector<PlanRecord> full_plans;
+    std::vector<PlanRecord> reg_plans;
+    all.push_back(
+        run_sd_pass_study("fullscan", nodes, selects, false, inert_jobs, &full_plans));
+    all.push_back(
+        run_sd_pass_study("registry", nodes, selects, true, inert_jobs, &reg_plans));
+    if (full_plans != reg_plans) {
+      std::fprintf(stderr,
+                   "ERROR: registry-backed selection diverged from the full scan at %d "
+                   "nodes\n",
+                   nodes);
+      return 1;
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  for (const auto& s : all) {
+    std::printf("%-10s %8d %10.0f %10.0f %14.1f %10llu %8llu\n", s.label.c_str(), s.nodes,
+                s.p50_ns, s.p95_ns, s.candidates_scanned_per_select,
+                static_cast<unsigned long long>(s.combinations_evaluated),
+                static_cast<unsigned long long>(s.plans_found));
+  }
+  std::printf("\nregistry scans only the eligible mates (running malleable non-guests);\n"
+              "fullscan is the historical whole-job-table walk. Plans are identical.\n");
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("schema", "sdsched-bench-v1");
+    json.field("bench", "micro_scheduler_sd_pass");
+    json.key("context");
+    json.begin_object();
+    json.field("selects", selects);
+    json.field("inert_jobs", inert_jobs);
+    json.end_object();
+    json.field("wall_seconds", wall);
+    json.key("sd_pass");
+    json.begin_array();
+    for (const auto& s : all) {
+      json.begin_object();
+      json.field("case", s.label);
+      json.field("nodes", s.nodes);
+      json.field("selects", s.selects);
+      json.field("p50_ns", s.p50_ns);
+      json.field("p95_ns", s.p95_ns);
+      json.field("candidates_scanned_per_select", s.candidates_scanned_per_select);
+      json.field("combinations_evaluated", s.combinations_evaluated);
+      json.field("plans_found", s.plans_found);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    write_text_file(json_path, json.str());
+    std::printf("(json written to %s)\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.get_bool("pass-metrics")) {
     return run_pass_metrics(argc, argv);
+  }
+  if (args.get_bool("sd-pass")) {
+    return run_sd_pass(argc, argv);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

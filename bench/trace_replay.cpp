@@ -9,6 +9,12 @@
 // standard bench flags (bench_common.h):
 //
 //   --traces=curie,ricc     restrict the trace list
+//   --schedulers=fcfs,sd    restrict the variant cells (the static-backfill
+//                           baseline always runs — it is the normalization
+//                           denominator); "sd" enables the MAXSD sweep.
+//                           CI uses this for a short SD-only Curie slice so
+//                           the SD hot path is serial-parity-checked on
+//                           every push.
 //   --synthesize            ignore fixtures; synthesize_like() at --scale
 //                           (default synthesis scale 0.02)
 //   --max-jobs=N            cap jobs per trace after scaling
@@ -56,6 +62,25 @@ int main(int argc, char** argv) {
                "W3/W4 replay real logs (RICC-2010, CEA-Curie-2011); same-second "
                "submit bursts coalesce into one pass on the non-SD schedulers");
 
+  bool run_fcfs = true;
+  bool run_sd = true;
+  if (const std::string list = args.get_or("schedulers", ""); !list.empty()) {
+    run_fcfs = run_sd = false;
+    for (const std::string& token : split_csv(list)) {
+      if (token == "fcfs") {
+        run_fcfs = true;
+      } else if (token == "sd") {
+        run_sd = true;
+      } else if (token != "backfill") {  // baseline always runs; others are typos
+        std::fprintf(stderr,
+                     "ERROR: unknown --schedulers token '%s' (expected backfill, fcfs, "
+                     "sd)\n",
+                     token.c_str());
+        return 1;
+      }
+    }
+  }
+
   const bool synthesize = args.get_bool("synthesize");
   const double scale = args.get_bool("full")
                            ? 1.0
@@ -89,12 +114,16 @@ int main(int argc, char** argv) {
     // and SD-Policy under every cut-off variant, all on shared job storage.
     grid.baseline(info.label + "/backfill", entry.loaded.workload,
                   baseline_config(entry.machine));
-    SimulationConfig fcfs_cfg = baseline_config(entry.machine);
-    fcfs_cfg.policy = PolicyKind::Fcfs;
-    grid.variant(info.label, "fcfs", 0, entry.loaded.workload, fcfs_cfg);
-    for (const auto& variant : maxsd_sweep()) {
-      grid.variant(info.label, variant.label, 0, entry.loaded.workload,
-                   sd_config(entry.machine, variant.cutoff));
+    if (run_fcfs) {
+      SimulationConfig fcfs_cfg = baseline_config(entry.machine);
+      fcfs_cfg.policy = PolicyKind::Fcfs;
+      grid.variant(info.label, "fcfs", 0, entry.loaded.workload, fcfs_cfg);
+    }
+    if (run_sd) {
+      for (const auto& variant : maxsd_sweep()) {
+        grid.variant(info.label, variant.label, 0, entry.loaded.workload,
+                     sd_config(entry.machine, variant.cutoff));
+      }
     }
     traces.push_back(std::move(entry));
   }
@@ -102,8 +131,11 @@ int main(int argc, char** argv) {
   const SweepExecution exec = grid.run(ctx);
 
   std::printf("\nAverage slowdown normalized to static backfill (<1 = variant wins):\n\n");
-  std::vector<std::string> header{"trace", "fcfs"};
-  for (const auto& variant : maxsd_sweep()) header.push_back(variant.label);
+  std::vector<std::string> header{"trace"};
+  if (run_fcfs) header.push_back("fcfs");
+  if (run_sd) {
+    for (const auto& variant : maxsd_sweep()) header.push_back(variant.label);
+  }
   AsciiTable table(header);
   for (const auto& entry : traces) {
     std::vector<std::string> row{entry.loaded.info.label};

@@ -25,12 +25,15 @@ ClusterStateIndex::ClusterStateIndex(Machine& machine, const JobRegistry& jobs)
     }
     if (cls < 0) {
       cls = static_cast<int>(classes_.size());
-      classes_.push_back(AttrClass{attrs, 0, 0});
+      classes_.push_back(AttrClass{attrs, 0, 0, {}});
     }
     node_class_[static_cast<std::size_t>(id)] = cls;
     ++classes_[static_cast<std::size_t>(cls)].total;
     ++classes_[static_cast<std::size_t>(cls)].free;
   }
+  all_classes_.resize(classes_.size());
+  for (std::size_t c = 0; c < classes_.size(); ++c) all_classes_[c] = static_cast<int>(c);
+  free_runs_ = FreeNodeIndex(node_class_, static_cast<int>(classes_.size()));
 
   // Index whatever is already running (warm-start scenarios attach to a
   // populated machine).
@@ -61,21 +64,40 @@ void ClusterStateIndex::refresh_node(int node_id) {
     const auto it = busy_counts_.find(slot);
     assert(it != busy_counts_.end() && "indexed free_at missing from busy_counts");
     if (it != busy_counts_.end() && --it->second == 0) busy_counts_.erase(it);
+    const auto cit = cls.busy.find(slot);
+    assert(cit != cls.busy.end() && "indexed free_at missing from class busy map");
+    if (cit != cls.busy.end() && --cit->second == 0) cls.busy.erase(cit);
     --occupied_nodes_;
     ++cls.free;
   }
   if (free_at != kEmptyNode) {
     ++busy_counts_[free_at];
+    ++cls.busy[free_at];
     ++occupied_nodes_;
     --cls.free;
+  }
+  // The free-run structure cares only about emptiness flips, not about a
+  // busy node's release time moving.
+  const bool was_free = slot == kEmptyNode;
+  const bool now_free = free_at == kEmptyNode;
+  if (was_free != now_free) {
+    if (now_free) {
+      free_runs_.insert(node_id);
+    } else {
+      free_runs_.erase(node_id);
+    }
   }
   slot = free_at;
   ++version_;
 }
 
-void ClusterStateIndex::on_node_occupancy_changed(int node_id) { refresh_node(node_id); }
+void ClusterStateIndex::on_node_occupancy_changed(int node_id) {
+  ++mutation_serial_;
+  refresh_node(node_id);
+}
 
 void ClusterStateIndex::on_predicted_end_changed(JobId job) {
+  ++mutation_serial_;
   for (const NodeShare& share : jobs_.at(job).shares) {
     refresh_node(share.node);
   }
@@ -111,6 +133,64 @@ int ClusterStateIndex::eligible_free_count(const JobConstraints& constraints) co
   return free;
 }
 
+std::optional<std::vector<int>> ClusterStateIndex::find_free_nodes(
+    int count, const JobConstraints* constraints) const {
+  assert(count >= 1);
+  // Mirror Machine::find_free_nodes' early-outs exactly: global free count
+  // first, then the eligible-free count for constrained requests.
+  if (count > free_runs_.free_count()) return std::nullopt;
+  if (constraints == nullptr || constraints->unconstrained()) {
+    return free_runs_.pick(count, all_classes_, /*contiguous=*/false);
+  }
+  std::vector<int> eligible;
+  eligible.reserve(classes_.size());
+  int eligible_free = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (node_satisfies(classes_[c].attributes, *constraints)) {
+      eligible.push_back(static_cast<int>(c));
+      eligible_free += classes_[c].free;
+    }
+  }
+  if (eligible_free < count) return std::nullopt;
+  return free_runs_.pick(count, eligible, constraints->contiguous);
+}
+
+std::uint64_t ClusterStateIndex::eligible_class_mask(
+    const JobConstraints& constraints) const {
+  assert(classes_.size() <= 64 && "class mask only supports <= 64 attribute classes");
+  std::uint64_t mask = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (node_satisfies(classes_[c].attributes, constraints)) mask |= 1ull << c;
+  }
+  return mask;
+}
+
+int ClusterStateIndex::node_count_for_mask(std::uint64_t mask) const {
+  int total = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if ((mask >> c) & 1u) total += classes_[c].total;
+  }
+  return total;
+}
+
+void ClusterStateIndex::busy_groups_for_mask(
+    std::uint64_t mask, SimTime now, std::vector<std::pair<SimTime, int>>& out) const {
+  out.clear();
+  // Merge the selected classes' (free_at -> count) maps, then clamp exactly
+  // as busy_groups() does. Constrained jobs are rare, so a transient merge
+  // map is fine here.
+  std::map<SimTime, int> merged;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (((mask >> c) & 1u) == 0) continue;
+    for (const auto& [free_at, nodes] : classes_[c].busy) merged[free_at] += nodes;
+  }
+  auto it = merged.begin();
+  int overdue = 0;
+  for (; it != merged.end() && it->first <= now + 1; ++it) overdue += it->second;
+  if (overdue > 0) out.emplace_back(now + 1, overdue);
+  for (; it != merged.end(); ++it) out.emplace_back(it->first, it->second);
+}
+
 bool ClusterStateIndex::check_consistent(std::string* diagnosis) const {
   const auto fail = [diagnosis](const std::string& what) {
     if (diagnosis != nullptr) *diagnosis = what;
@@ -120,6 +200,8 @@ bool ClusterStateIndex::check_consistent(std::string* diagnosis) const {
   std::map<SimTime, int> expect_counts;
   int expect_occupied = 0;
   std::vector<int> expect_class_free(classes_.size(), 0);
+  std::vector<std::map<SimTime, int>> expect_class_busy(classes_.size());
+  std::vector<bool> is_free(static_cast<std::size_t>(machine_.node_count()), false);
   for (int id = 0; id < machine_.node_count(); ++id) {
     const SimTime expect = scan_free_at(id);
     if (node_free_at_[static_cast<std::size_t>(id)] != expect) {
@@ -131,8 +213,10 @@ bool ClusterStateIndex::check_consistent(std::string* diagnosis) const {
     const int cls = node_class_[static_cast<std::size_t>(id)];
     if (expect == kEmptyNode) {
       ++expect_class_free[static_cast<std::size_t>(cls)];
+      is_free[static_cast<std::size_t>(id)] = true;
     } else {
       ++expect_counts[expect];
+      ++expect_class_busy[static_cast<std::size_t>(cls)][expect];
       ++expect_occupied;
     }
   }
@@ -148,6 +232,16 @@ bool ClusterStateIndex::check_consistent(std::string* diagnosis) const {
           << " != scanned " << expect_class_free[c];
       return fail(oss.str());
     }
+    if (classes_[c].busy != expect_class_busy[c]) {
+      std::ostringstream oss;
+      oss << "attribute class " << c << ": busy map diverged from node scan";
+      return fail(oss.str());
+    }
+  }
+  std::string runs_diag;
+  if (!free_runs_.check_consistent(is_free, &runs_diag)) return fail(runs_diag);
+  if (free_runs_.free_count() != machine_.free_node_count()) {
+    return fail("free-run index free count diverged from machine");
   }
   // The class partition must reproduce the machine's own constraint answers.
   for (const AttrClass& cls : classes_) {
@@ -160,6 +254,20 @@ bool ClusterStateIndex::check_consistent(std::string* diagnosis) const {
     }
   }
   return true;
+}
+
+std::optional<std::vector<int>> pick_free_nodes(const Machine& machine,
+                                                const ClusterStateIndex* index, int count,
+                                                const JobConstraints* constraints) {
+  if (index == nullptr) return machine.find_free_nodes(count, constraints);
+#ifdef SDSCHED_INDEX_CROSSCHECK
+  const auto indexed = index->find_free_nodes(count, constraints);
+  const auto scanned = machine.find_free_nodes(count, constraints);
+  assert(indexed == scanned && "free-run index pick diverged from the machine scan");
+  return indexed;
+#else
+  return index->find_free_nodes(count, constraints);
+#endif
 }
 
 }  // namespace sdsched

@@ -14,20 +14,31 @@
 //    O(distinct release times);
 //  * per-attribute-class eligible/free node counts, making constraint
 //    filtering (§3.2.4) O(classes) instead of O(nodes);
+//  * per-attribute-class (free_at -> node count) maps, from which the
+//    per-class reservation-profile layers (constraint-class-aware earliest
+//    starts for constrained jobs) are assembled via busy_groups_for_mask();
+//  * a class-partitioned FreeNodeIndex over free node ids, so
+//    find_free_nodes — called from the scheduling pass on every start and
+//    from SD-Policy's mate-combination DFS — touches only the runs it
+//    consumes instead of scanning the ordered free set;
 //  * a version counter, so schedulers can reuse their profile base across
 //    passes when nothing changed.
 //
 // check_consistent() cross-checks everything against the brute-force node
 // scan the index replaced; compile with SDSCHED_INDEX_CROSSCHECK (the asan
-// preset does) to run it on every scheduling pass.
+// preset does) to run it on every scheduling pass — pick_free_nodes()
+// additionally compares every indexed free-node pick against the machine
+// scan under that flag.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cluster/free_node_index.h"
 #include "cluster/machine.h"
 #include "job/job_registry.h"
 
@@ -50,8 +61,20 @@ class ClusterStateIndex final : public MachineObserver {
   /// refresh every node the job holds.
   void on_predicted_end_changed(JobId job);
 
-  /// Bumped whenever any indexed quantity actually changed.
+  /// Bumped whenever any indexed quantity actually changed. A no-op
+  /// notification (e.g. a share resize that leaves the node's free_at and
+  /// emptiness alone) does NOT bump it — profile-base reuse depends on
+  /// that. State below the index's resolution (per-share core counts, free
+  /// cores on a still-busy node) may change without a version bump: cache
+  /// on mutation_serial() instead when that state matters.
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Bumped on EVERY occupancy/predicted-end notification, including ones
+  /// that change nothing the index tracks. An unchanged mutation_serial
+  /// guarantees the machine has not been touched at all — the key the
+  /// MateSelector's node-budget cache (which reads per-share core counts
+  /// the index itself does not model) is valid under.
+  [[nodiscard]] std::uint64_t mutation_serial() const noexcept { return mutation_serial_; }
 
   /// Occupied-node release groups for a pass at `now`: ascending (free_at,
   /// nodes) with overdue occupants (free_at <= now) clamped to now + 1
@@ -65,6 +88,35 @@ class ClusterStateIndex final : public MachineObserver {
   [[nodiscard]] int eligible_free_count(const JobConstraints& constraints) const;
 
   [[nodiscard]] int occupied_node_count() const noexcept { return occupied_nodes_; }
+
+  /// Drop-in indexed replacement for Machine::find_free_nodes: same node
+  /// ids (lowest-first; earliest adequate run for contiguous requests),
+  /// but the cost is O(runs touched) instead of O(free nodes). `count`
+  /// must be >= 1.
+  [[nodiscard]] std::optional<std::vector<int>> find_free_nodes(
+      int count, const JobConstraints* constraints = nullptr) const;
+
+  // --- attribute-class layer (constraint-class-aware profiles) ---
+
+  [[nodiscard]] int class_count() const noexcept {
+    return static_cast<int>(classes_.size());
+  }
+
+  /// Bit i set <=> attribute class i satisfies `constraints`. Only valid
+  /// while class_count() <= 64 (callers fall back to the class-blind
+  /// profile beyond that).
+  [[nodiscard]] std::uint64_t eligible_class_mask(const JobConstraints& constraints) const;
+
+  /// Total nodes (free or busy) across the classes in `mask`.
+  [[nodiscard]] int node_count_for_mask(std::uint64_t mask) const;
+
+  /// busy_groups() restricted to the classes in `mask` (same overdue
+  /// clamping) — the base snapshot of a per-class profile layer.
+  void busy_groups_for_mask(std::uint64_t mask, SimTime now,
+                            std::vector<std::pair<SimTime, int>>& out) const;
+
+  /// The class-partitioned free-run structure (tests).
+  [[nodiscard]] const FreeNodeIndex& free_runs() const noexcept { return free_runs_; }
 
   /// Cross-check every indexed quantity against a full scan of the machine
   /// and registry. On mismatch returns false and, if given, fills
@@ -84,6 +136,7 @@ class ClusterStateIndex final : public MachineObserver {
     NodeAttributes attributes;
     int total = 0;
     int free = 0;
+    std::map<SimTime, int> busy;  ///< free_at -> occupied node count, this class
   };
 
   Machine& machine_;
@@ -95,8 +148,19 @@ class ClusterStateIndex final : public MachineObserver {
 
   std::vector<AttrClass> classes_;
   std::vector<int> node_class_;              ///< node id -> index into classes_
+  std::vector<int> all_classes_;             ///< 0..classes-1 (pick fast path)
+  FreeNodeIndex free_runs_;
 
   std::uint64_t version_ = 0;
+  std::uint64_t mutation_serial_ = 0;
 };
+
+/// Free-node picking through the index when one is attached, through the
+/// machine scan otherwise — the single dispatch point schedulers and the
+/// MateSelector share. Under SDSCHED_INDEX_CROSSCHECK every indexed pick is
+/// compared against the machine scan.
+[[nodiscard]] std::optional<std::vector<int>> pick_free_nodes(
+    const Machine& machine, const ClusterStateIndex* index, int count,
+    const JobConstraints* constraints);
 
 }  // namespace sdsched

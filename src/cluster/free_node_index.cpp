@@ -1,0 +1,187 @@
+#include "cluster/free_node_index.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace sdsched {
+
+namespace {
+
+/// Build the run maps a brute-force scan would produce: walk ids in
+/// ascending order and chain consecutive free ids of the same class.
+std::vector<std::map<int, int>> scan_runs(const std::vector<int>& node_class,
+                                          std::size_t classes,
+                                          const std::vector<bool>& is_free) {
+  std::vector<std::map<int, int>> runs(classes);
+  // Per class: the run currently being extended (start id), or -1.
+  std::vector<int> open_start(classes, -1);
+  std::vector<int> open_end(classes, -1);  ///< one past the last id in the run
+  for (std::size_t id = 0; id < node_class.size(); ++id) {
+    if (!is_free[id]) continue;
+    const auto cls = static_cast<std::size_t>(node_class[id]);
+    if (open_start[cls] >= 0 && open_end[cls] == static_cast<int>(id)) {
+      ++runs[cls][open_start[cls]];
+      ++open_end[cls];
+    } else {
+      open_start[cls] = static_cast<int>(id);
+      open_end[cls] = static_cast<int>(id) + 1;
+      runs[cls][open_start[cls]] = 1;
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+FreeNodeIndex::FreeNodeIndex(std::vector<int> node_class, int classes)
+    : node_class_(std::move(node_class)) {
+  const std::vector<bool> all_free(node_class_.size(), true);
+  runs_ = scan_runs(node_class_, static_cast<std::size_t>(classes), all_free);
+  free_ = static_cast<int>(node_class_.size());
+}
+
+void FreeNodeIndex::insert(int id) {
+  RunMap& runs = runs_[static_cast<std::size_t>(node_class_[static_cast<std::size_t>(id)])];
+  int start = id;
+  int length = 1;
+  // Absorb the run starting right after id, if any.
+  if (const auto right = runs.find(id + 1); right != runs.end()) {
+    length += right->second;
+    runs.erase(right);
+  }
+  // Extend the run ending right before id, if any.
+  const auto after = runs.lower_bound(id);
+  if (after != runs.begin()) {
+    const auto left = std::prev(after);
+    assert(left->first + left->second <= id && "node inserted into the free index twice");
+    if (left->first + left->second == id) {
+      left->second += length;
+      ++free_;
+      return;
+    }
+  }
+  runs.emplace(start, length);
+  ++free_;
+}
+
+void FreeNodeIndex::erase(int id) {
+  RunMap& runs = runs_[static_cast<std::size_t>(node_class_[static_cast<std::size_t>(id)])];
+  auto it = runs.upper_bound(id);
+  assert(it != runs.begin() && "node erased from the free index while not free");
+  --it;
+  const int start = it->first;
+  const int length = it->second;
+  assert(id >= start && id < start + length &&
+         "node erased from the free index while not free");
+  runs.erase(it);
+  if (id > start) runs.emplace(start, id - start);
+  if (id < start + length - 1) runs.emplace(id + 1, start + length - 1 - id);
+  --free_;
+}
+
+std::optional<std::vector<int>> FreeNodeIndex::pick(int count,
+                                                    const std::vector<int>& classes,
+                                                    bool contiguous) const {
+  assert(count >= 1);
+  // One cursor per eligible class; each step consumes the run with the
+  // lowest start id. Runs are disjoint across classes (a node belongs to
+  // exactly one), so the walk yields globally ascending disjoint runs.
+  // Homogeneous machines (the common case) keep a single inline cursor —
+  // no heap allocation on the scheduling hot path.
+  struct Cursor {
+    RunMap::const_iterator it;
+    RunMap::const_iterator end;
+  };
+  Cursor single;
+  std::vector<Cursor> merged;
+  std::size_t cursor_count = 0;
+  if (classes.size() == 1) {
+    const RunMap& runs = runs_[static_cast<std::size_t>(classes.front())];
+    if (!runs.empty()) {
+      single = Cursor{runs.begin(), runs.end()};
+      cursor_count = 1;
+    }
+  } else {
+    merged.reserve(classes.size());
+    for (const int cls : classes) {
+      const RunMap& runs = runs_[static_cast<std::size_t>(cls)];
+      if (!runs.empty()) merged.push_back(Cursor{runs.begin(), runs.end()});
+    }
+    cursor_count = merged.size();
+  }
+  Cursor* const cursors = classes.size() == 1 ? &single : merged.data();
+  const auto next_run = [cursors, cursor_count]() -> const std::pair<const int, int>* {
+    const std::pair<const int, int>* best = nullptr;
+    Cursor* best_cursor = nullptr;
+    for (std::size_t c = 0; c < cursor_count; ++c) {
+      Cursor& cursor = cursors[c];
+      if (cursor.it == cursor.end) continue;
+      if (best == nullptr || cursor.it->first < best->first) {
+        best = &*cursor.it;
+        best_cursor = &cursor;
+      }
+    }
+    if (best_cursor != nullptr) ++best_cursor->it;
+    return best;
+  };
+
+  if (!contiguous) {
+    std::vector<int> picked;
+    picked.reserve(static_cast<std::size_t>(count));
+    while (static_cast<int>(picked.size()) < count) {
+      const auto* run = next_run();
+      if (run == nullptr) return std::nullopt;  // not enough eligible free nodes
+      const int take = std::min(run->second, count - static_cast<int>(picked.size()));
+      for (int i = 0; i < take; ++i) picked.push_back(run->first + i);
+    }
+    return picked;
+  }
+
+  // Contiguous: join adjacent eligible runs into maximal spans; the first
+  // span reaching `count` is the earliest (runs arrive in ascending order).
+  int span_start = -1;
+  int span_length = 0;
+  for (const auto* run = next_run(); run != nullptr; run = next_run()) {
+    if (span_length > 0 && run->first == span_start + span_length) {
+      span_length += run->second;
+    } else {
+      span_start = run->first;
+      span_length = run->second;
+    }
+    if (span_length >= count) {
+      std::vector<int> picked(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i) picked[static_cast<std::size_t>(i)] = span_start + i;
+      return picked;
+    }
+  }
+  return std::nullopt;
+}
+
+bool FreeNodeIndex::check_consistent(const std::vector<bool>& is_free,
+                                     std::string* diagnosis) const {
+  assert(is_free.size() == node_class_.size());
+  const auto expect = scan_runs(node_class_, runs_.size(), is_free);
+  int expect_free = 0;
+  for (const bool f : is_free) expect_free += f ? 1 : 0;
+  if (free_ != expect_free) {
+    if (diagnosis != nullptr) {
+      std::ostringstream oss;
+      oss << "free-run index free count " << free_ << " != scanned " << expect_free;
+      *diagnosis = oss.str();
+    }
+    return false;
+  }
+  for (std::size_t cls = 0; cls < runs_.size(); ++cls) {
+    if (runs_[cls] != expect[cls]) {
+      if (diagnosis != nullptr) {
+        std::ostringstream oss;
+        oss << "free-run index class " << cls << " runs diverged from node scan";
+        *diagnosis = oss.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sdsched

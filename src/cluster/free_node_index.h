@@ -1,0 +1,74 @@
+// Class-partitioned free-run index: the free side of the ClusterStateIndex.
+//
+// Machine::find_free_nodes walks the ordered free set (and, for constrained
+// requests, filters every free node) on every call — and SD-Policy calls it
+// from inside the mate-combination DFS, so the cost is machine-size-
+// proportional per *evaluated combination*. This index keeps, per attribute
+// class, the maximal runs of consecutive free node ids as a sorted
+// (start -> length) map, maintained incrementally on every free/busy
+// transition (O(log runs) per mutation). Picks then touch only the runs
+// they consume:
+//
+//  * lowest-id picks walk runs in ascending order across the eligible
+//    classes (k-way merge, k = eligible classes) — O(picked + runs touched);
+//  * contiguous picks walk the same merged sequence joining adjacent runs
+//    and stop at the first span of the requested length — no full scan.
+//
+// The index answers with exactly the node ids Machine::find_free_nodes
+// would return (lowest-first, earliest-run-first); the ClusterStateIndex
+// cross-check (SDSCHED_INDEX_CROSSCHECK) asserts that equivalence on every
+// scheduling pass.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sdsched {
+
+class FreeNodeIndex {
+ public:
+  FreeNodeIndex() = default;
+
+  /// `node_class[i]` is node i's attribute class (< `classes`). Every node
+  /// starts free; the owner erases the occupied ones while indexing.
+  FreeNodeIndex(std::vector<int> node_class, int classes);
+
+  /// Node `id` became free (must currently be occupied).
+  void insert(int id);
+
+  /// Node `id` became occupied (must currently be free).
+  void erase(int id);
+
+  [[nodiscard]] int free_count() const noexcept { return free_; }
+
+  /// The `count` lowest free ids among nodes whose class is listed in
+  /// `classes` (ascending class indices); with `contiguous`, the first
+  /// `count` ids of the earliest maximal run of consecutive ids instead.
+  /// nullopt when not enough eligible free nodes (or no adequate run).
+  /// `count` must be >= 1.
+  [[nodiscard]] std::optional<std::vector<int>> pick(int count,
+                                                     const std::vector<int>& classes,
+                                                     bool contiguous) const;
+
+  /// The run map of one class (tests and the consistency cross-check).
+  [[nodiscard]] const std::map<int, int>& runs_of_class(int cls) const {
+    return runs_[static_cast<std::size_t>(cls)];
+  }
+
+  /// Rebuild the expected run maps from `is_free` (a brute-force free
+  /// predicate over node ids) and compare. On mismatch returns false and,
+  /// if given, fills `diagnosis`.
+  [[nodiscard]] bool check_consistent(const std::vector<bool>& is_free,
+                                      std::string* diagnosis = nullptr) const;
+
+ private:
+  using RunMap = std::map<int, int>;  ///< run start id -> run length
+
+  std::vector<RunMap> runs_;  ///< one map per attribute class
+  std::vector<int> node_class_;
+  int free_ = 0;
+};
+
+}  // namespace sdsched

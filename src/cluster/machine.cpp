@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 namespace sdsched {
 
@@ -21,13 +22,20 @@ bool node_satisfies(const NodeAttributes& attributes,
 Machine::Machine(MachineConfig config)
     : config_(std::move(config)), energy_(config_.energy, config_.nodes) {
   assert(config_.nodes > 0);
+  // One lookup map instead of re-scanning the override list per node
+  // (O(nodes + overrides), not O(nodes x overrides) — at 5040 nodes a long
+  // override list made construction quadratic). insert_or_assign keeps the
+  // historical last-entry-wins semantics for duplicate node ids.
+  std::unordered_map<int, const NodeAttributes*> overrides;
+  overrides.reserve(config_.attribute_overrides.size());
+  for (const auto& [id, override_attrs] : config_.attribute_overrides) {
+    overrides.insert_or_assign(id, &override_attrs);
+  }
   nodes_.reserve(config_.nodes);
   for (int i = 0; i < config_.nodes; ++i) {
-    NodeAttributes attributes = config_.attributes;
-    for (const auto& [id, override_attrs] : config_.attribute_overrides) {
-      if (id == i) attributes = override_attrs;
-    }
-    nodes_.emplace_back(i, config_.node, std::move(attributes));
+    const auto it = overrides.find(i);
+    nodes_.emplace_back(i, config_.node,
+                        it != overrides.end() ? *it->second : config_.attributes);
     free_nodes_.insert(i);
   }
 }

@@ -33,4 +33,19 @@ double compute_cutoff(const CutoffConfig& config, const JobRegistry& jobs, SimTi
   return config.value;
 }
 
+double compute_cutoff(const CutoffConfig& config, const JobRegistry& jobs,
+                      const std::vector<JobId>& running, SimTime now) {
+  if (config.kind != CutoffKind::DynamicAverage) return compute_cutoff(config, jobs, now);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const JobId id : running) {
+    const Job& job = jobs.at(id);
+    if (!job.running()) continue;  // tolerate a stale entry
+    sum += estimated_running_slowdown(job, now);
+    ++count;
+  }
+  if (count == 0) return std::numeric_limits<double>::infinity();
+  return sum / static_cast<double>(count);
+}
+
 }  // namespace sdsched

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "cluster/cluster_state_index.h"
 #include "core/adaptive_sharing.h"
 #include "core/cutoff.h"
+#include "core/mate_registry.h"
 #include "model/runtime_model.h"
 #include "workload/app_profiles.h"
 
@@ -35,6 +37,14 @@ double penalty_for(const Job& mate, SimTime now, SimTime increase) noexcept {
 
 }  // namespace
 
+void MateSelector::release_budgets(JobId job) noexcept {
+  const auto idx = static_cast<std::size_t>(job);
+  if (idx >= budget_cache_.size()) return;
+  CachedBudgets& slot = budget_cache_[idx];
+  slot.valid = false;
+  slot.nodes = {};  // actually release the heap block, not just clear()
+}
+
 bool MateSelector::eligible_mate(const Job& candidate, const Job& guest,
                                  SimTime now) const noexcept {
   if (!candidate.running() || !candidate.can_be_mate()) return false;
@@ -48,68 +58,123 @@ bool MateSelector::eligible_mate(const Job& candidate, const Job& guest,
   return true;
 }
 
+MateSelector::CachedBudgets& MateSelector::budgets_for(const Job& job,
+                                                       const Job& guest) const {
+  CachedBudgets& slot = budget_cache_[static_cast<std::size_t>(job.spec.id)];
+  // Budgets read mate shares and node free cores — state BELOW the index's
+  // own resolution (a share resize can leave a node's free_at untouched),
+  // so the cache keys on mutation_serial(), which bumps on every machine
+  // notification, not on version(), which only bumps when indexed state
+  // changed. Adaptive sharing makes the SharingFactor a function of the
+  // (mate, guest) pairing, and standalone selectors have no serial source:
+  // both refill every time (the historical cost).
+  if (index_ != nullptr && !config_.adaptive_sharing && slot.valid &&
+      slot.version == index_->mutation_serial()) {
+    return slot;
+  }
+
+  // Future work #1: SharingFactor tuned per (mate, guest) pairing when
+  // application profiles are known; the fixed socket split otherwise.
+  const double sharing_factor =
+      config_.adaptive_sharing
+          ? adaptive_sharing_factor(config_.sharing_factor, profile_of(job),
+                                    profile_of(guest))
+          : config_.sharing_factor;
+
+  slot.nodes.clear();
+  slot.feasible = true;
+  slot.memo_u_max = -1;
+  for (const auto& share : job.shares) {
+    const Node& node = machine_.node(share.node);
+    NodeBudget budget;
+    budget.node = share.node;
+    budget.mate_current = share.cpus;
+    budget.mate_static = std::max(1, share.static_cpus);
+    budget.mate_min = std::max(1, job.spec.ranks_per_node);
+    budget.idle = node.free_cores();
+    const int take_cap =
+        static_cast<int>(std::floor(sharing_factor * node.total_cores()));
+    const int already_taken = budget.mate_static - budget.mate_current;
+    const int max_take = std::clamp(
+        std::min(take_cap - already_taken, budget.mate_current - budget.mate_min), 0,
+        budget.mate_current);
+    budget.guest_max = budget.idle + max_take;
+    if (budget.guest_max < 1) {
+      slot.feasible = false;
+      break;
+    }
+    slot.nodes.push_back(budget);
+  }
+  slot.valid = true;
+  slot.version = index_ != nullptr ? index_->mutation_serial() : 0;
+  return slot;
+}
+
+void MateSelector::examine_candidate(const Job& job, const Job& guest, SimTime now,
+                                     double max_slowdown, SimTime quick_d0, int u_max,
+                                     std::vector<Candidate>& out) const {
+  ++stats_.candidates_scanned;
+  if (!eligible_mate(job, guest, now)) return;
+
+  CachedBudgets& budgets = budgets_for(job, guest);
+  if (!budgets.feasible) return;
+  // §3.2.4: the guest's constraints filter the mates' nodes too. (The
+  // budgets themselves are guest-independent; this filter is not.)
+  if (!guest.spec.constraints.unconstrained()) {
+    for (const NodeBudget& budget : budgets.nodes) {
+      if (!node_satisfies(machine_.node(budget.node).attributes(),
+                          guest.spec.constraints)) {
+        return;
+      }
+    }
+  }
+
+  // Quick penalty ingredient: what the mate would keep if the guest needed
+  // u_max cpus on each of its nodes. Memoized per (budgets, u_max) — a pure
+  // function of both.
+  if (budgets.memo_u_max != u_max) {
+    double worst_kept_ratio = 1.0;
+    for (const NodeBudget& budget : budgets.nodes) {
+      const int g = std::min(u_max, budget.guest_max);
+      const int kept = budget.mate_current - std::max(0, g - budget.idle);
+      worst_kept_ratio = std::min(
+          worst_kept_ratio, static_cast<double>(kept) / budget.mate_static);
+    }
+    budgets.memo_u_max = u_max;
+    budgets.memo_ratio = worst_kept_ratio;
+  }
+  const double worst_kept_ratio = budgets.memo_ratio;
+
+  const SimTime quick_increase = lost_progress_increase(quick_d0, worst_kept_ratio);
+  const double sort_penalty = penalty_for(job, now, quick_increase);
+  if (sort_penalty >= max_slowdown) return;  // Eq. 2 filter
+  out.push_back(Candidate{job.spec.id, static_cast<int>(job.shares.size()), sort_penalty,
+                          &budgets.nodes});
+}
+
 std::vector<MateSelector::Candidate> MateSelector::collect_candidates(
     const Job& guest, SimTime now, double max_slowdown, SimTime guest_runtime) const {
   const SimTime d0 = quick_duration(guest_runtime, config_.sharing_factor);
   const auto u_max = static_cast<int>(
       (guest.spec.req_cpus + guest.spec.req_nodes - 1) / guest.spec.req_nodes);
 
+  // Candidates point into budget_cache_; size it up-front so slots never
+  // move during the select (the registry does not grow mid-select).
+  if (budget_cache_.size() < jobs_.size()) budget_cache_.resize(jobs_.size());
+
   std::vector<Candidate> candidates;
-  for (const auto& job : jobs_) {
-    if (!eligible_mate(job, guest, now)) continue;
-
-    // Future work #1: SharingFactor tuned per (mate, guest) pairing when
-    // application profiles are known; the fixed socket split otherwise.
-    const double sharing_factor =
-        config_.adaptive_sharing
-            ? adaptive_sharing_factor(config_.sharing_factor, profile_of(job),
-                                      profile_of(guest))
-            : config_.sharing_factor;
-
-    Candidate cand;
-    cand.id = job.spec.id;
-    cand.weight = static_cast<int>(job.shares.size());
-    cand.nodes.reserve(job.shares.size());
-    bool feasible = true;
-    double worst_kept_ratio = 1.0;
-    for (const auto& share : job.shares) {
-      const Node& node = machine_.node(share.node);
-      // §3.2.4: the guest's constraints filter the mates' nodes too.
-      if (!node_satisfies(node.attributes(), guest.spec.constraints)) {
-        feasible = false;
-        break;
-      }
-      NodeBudget budget;
-      budget.node = share.node;
-      budget.mate_current = share.cpus;
-      budget.mate_static = std::max(1, share.static_cpus);
-      budget.mate_min = std::max(1, job.spec.ranks_per_node);
-      budget.idle = node.free_cores();
-      const int take_cap =
-          static_cast<int>(std::floor(sharing_factor * node.total_cores()));
-      const int already_taken = budget.mate_static - budget.mate_current;
-      const int max_take = std::clamp(
-          std::min(take_cap - already_taken, budget.mate_current - budget.mate_min), 0,
-          budget.mate_current);
-      budget.guest_max = budget.idle + max_take;
-      if (budget.guest_max < 1) {
-        feasible = false;
-        break;
-      }
-      // Quick penalty ingredient: what the mate would keep if the guest
-      // needed u_max cpus here.
-      const int g = std::min(u_max, budget.guest_max);
-      const int kept = budget.mate_current - std::max(0, g - budget.idle);
-      worst_kept_ratio = std::min(
-          worst_kept_ratio, static_cast<double>(kept) / budget.mate_static);
-      cand.nodes.push_back(budget);
+  candidates.reserve(registry_ != nullptr ? registry_->mates().size() : 16);
+  if (registry_ != nullptr) {
+    // Incremental path: only the statically eligible mates, in ascending id
+    // order — the same order (and therefore the same sorted result) the
+    // full registry scan produces.
+    for (const JobId id : registry_->mates()) {
+      examine_candidate(jobs_.at(id), guest, now, max_slowdown, d0, u_max, candidates);
     }
-    if (!feasible) continue;
-
-    const SimTime quick_increase = lost_progress_increase(d0, worst_kept_ratio);
-    cand.sort_penalty = penalty_for(job, now, quick_increase);
-    if (cand.sort_penalty >= max_slowdown) continue;  // Eq. 2 filter
-    candidates.push_back(std::move(cand));
+  } else {
+    for (const auto& job : jobs_) {
+      examine_candidate(job, guest, now, max_slowdown, d0, u_max, candidates);
+    }
   }
 
   std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
@@ -123,33 +188,37 @@ std::vector<MateSelector::Candidate> MateSelector::collect_candidates(
   return candidates;
 }
 
+bool MateSelector::resolve_free_prefix(const Job& guest, int free_used,
+                                       const std::vector<int>& needs,
+                                       FreePrefix& out) const {
+  const auto free_ids =
+      pick_free_nodes(machine_, index_, free_used, &guest.spec.constraints);
+  if (!free_ids) return false;
+  out.nodes.clear();
+  out.nodes.reserve(static_cast<std::size_t>(free_used));
+  out.guest_rate = 1e300;
+  std::size_t need_idx = 0;
+  for (const int node_id : *free_ids) {
+    const int u = needs[need_idx++];
+    const int cap = machine_.node(node_id).total_cores();
+    const int g = std::min(u, cap);
+    if (g < 1) return false;
+    out.nodes.push_back(SharePlan{node_id, kInvalidJob, g, 0, u});
+    out.guest_rate = std::min(out.guest_rate, static_cast<double>(g) / u);
+  }
+  return true;
+}
+
 std::optional<MatePlan> MateSelector::evaluate_combination(
     const Job& guest, SimTime now, double max_slowdown,
-    const std::vector<const Candidate*>& combo, int free_nodes,
-    SimTime guest_runtime) const {
-  const int total_nodes = guest.spec.req_nodes;
-  // Guest's balanced static need per node, largest chunks first so free
-  // nodes (which can host the most) absorb them.
-  auto needs = balanced_split(guest.spec.req_cpus, total_nodes);
-  std::sort(needs.begin(), needs.end(), std::greater<int>());
-
+    const std::vector<const Candidate*>& combo, const std::vector<int>& needs,
+    const FreePrefix& free_prefix, SimTime guest_runtime) const {
+  ++stats_.combinations_evaluated;
   MatePlan plan;
-  plan.nodes.reserve(total_nodes);
-  std::size_t need_idx = 0;
-  double guest_rate = 1e300;
-
-  if (free_nodes > 0) {
-    const auto free_ids = machine_.find_free_nodes(free_nodes, &guest.spec.constraints);
-    if (!free_ids) return std::nullopt;
-    for (const int node_id : *free_ids) {
-      const int u = needs[need_idx++];
-      const int cap = machine_.node(node_id).total_cores();
-      const int g = std::min(u, cap);
-      if (g < 1) return std::nullopt;
-      plan.nodes.push_back(SharePlan{node_id, kInvalidJob, g, 0, u});
-      guest_rate = std::min(guest_rate, static_cast<double>(g) / u);
-    }
-  }
+  plan.nodes = free_prefix.nodes;
+  plan.nodes.reserve(needs.size());
+  std::size_t need_idx = free_prefix.nodes.size();
+  double guest_rate = free_prefix.guest_rate;
 
   struct MateKept {
     const Candidate* cand;
@@ -159,7 +228,7 @@ std::optional<MatePlan> MateSelector::evaluate_combination(
   kept_rates.reserve(combo.size());
   for (const Candidate* cand : combo) {
     double mate_rate = 1.0;
-    for (const auto& budget : cand->nodes) {
+    for (const auto& budget : *cand->nodes) {
       const int u = needs[need_idx++];
       const int g = std::min(u, budget.guest_max);
       if (g < 1) return std::nullopt;
@@ -214,37 +283,94 @@ std::optional<MatePlan> MateSelector::evaluate_combination(
 std::optional<MatePlan> MateSelector::select(const Job& guest, SimTime now,
                                              double max_slowdown, int max_free_nodes,
                                              SimTime guest_runtime) const {
+  ++stats_.selects;
   const int total_nodes = guest.spec.req_nodes;
   if (total_nodes <= 0) return std::nullopt;
   if (guest_runtime <= 0) guest_runtime = guest.spec.req_time;
   const auto candidates = collect_candidates(guest, now, max_slowdown, guest_runtime);
   if (candidates.empty()) return std::nullopt;  // plans always involve >=1 mate
 
+  // Guest's balanced static need per node, largest chunks first so free
+  // nodes (which can host the most) absorb them. Invariant across the whole
+  // DFS — computed at most once per select, and lazily: most selects never
+  // complete a combination, and for big guests the split and its sort are
+  // machine-size-proportional.
+  std::vector<int> needs;
+  const auto ensure_needs = [&]() -> const std::vector<int>& {
+    if (needs.empty()) {
+      needs = balanced_split(guest.spec.req_cpus, total_nodes);
+      std::sort(needs.begin(), needs.end(), std::greater<int>());
+    }
+    return needs;
+  };
+
   std::optional<MatePlan> best;
   double best_impact = 1e300;
+
+  // Candidate positions sorted by (weight, position). The last mate of a
+  // combination must carry *exactly* the remaining weight (Eq. 3 is an
+  // equality): walking only that weight's positions at the final DFS level
+  // visits the exact same evaluations, in the same order, that the full
+  // scan reached after skipping every mismatched candidate.
+  std::vector<std::pair<int, std::size_t>> weight_index;
+  weight_index.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    weight_index.emplace_back(candidates[i].weight, i);
+  }
+  std::sort(weight_index.begin(), weight_index.end());
 
   // Prefer plans that lean on free nodes (zero penalty); then fill the
   // remaining weight with mate combinations, best-penalty-first DFS with
   // branch-and-bound on the (sorted) penalty lower bound.
   const int max_free =
       config_.include_free_nodes ? std::min(max_free_nodes, total_nodes - 1) : 0;
+  FreePrefix prefix;
   for (int free_used = max_free; free_used >= 0; --free_used) {
     const int target = total_nodes - free_used;
     if (target == 0) continue;  // would be a static start, not SD's business
 
+    // The free-node pick is the same for every combination at this
+    // free_used (the machine does not change during a select): resolve it
+    // once. An infeasible pick fails every combination, so skip the DFS.
+    prefix.nodes.clear();
+    prefix.guest_rate = 1e300;
+    if (free_used > 0 && !resolve_free_prefix(guest, free_used, ensure_needs(), prefix)) {
+      continue;
+    }
+
     std::vector<const Candidate*> combo;
+    const auto evaluate_leaf = [&](double /*bound*/) {
+      auto plan = evaluate_combination(guest, now, max_slowdown, combo, ensure_needs(),
+                                       prefix, guest_runtime);
+      if (plan && plan->performance_impact < best_impact) {
+        best_impact = plan->performance_impact;
+        best = std::move(plan);
+      }
+    };
     const auto dfs = [&](auto&& self, std::size_t start, int remaining_weight,
                          int remaining_mates, double penalty_bound) -> void {
       if (remaining_weight == 0) {
-        auto plan =
-            evaluate_combination(guest, now, max_slowdown, combo, free_used, guest_runtime);
-        if (plan && plan->performance_impact < best_impact) {
-          best_impact = plan->performance_impact;
-          best = std::move(plan);
-        }
+        evaluate_leaf(penalty_bound);
         return;
       }
       if (remaining_mates == 0) return;
+      if (remaining_mates == 1) {
+        // Only an exact-weight candidate can complete the plan; smaller
+        // weights dead-end at remaining_mates == 0 and larger ones are
+        // skipped — walk just the matching positions. Penalties ascend
+        // with position, so the branch-and-bound break is unchanged.
+        for (auto it = std::lower_bound(weight_index.begin(), weight_index.end(),
+                                        std::make_pair(remaining_weight, start));
+             it != weight_index.end() && it->first == remaining_weight; ++it) {
+          const Candidate& cand = candidates[it->second];
+          const double bound = penalty_bound + cand.sort_penalty;
+          if (bound >= best_impact) break;  // sorted: all later are >= this
+          combo.push_back(&cand);
+          evaluate_leaf(bound);
+          combo.pop_back();
+        }
+        return;
+      }
       for (std::size_t i = start; i < candidates.size(); ++i) {
         const Candidate& cand = candidates[i];
         if (cand.weight > remaining_weight) continue;
@@ -257,6 +383,7 @@ std::optional<MatePlan> MateSelector::select(const Job& guest, SimTime now,
     };
     dfs(dfs, 0, target, config_.max_mates, 0.0);
   }
+  if (best) ++stats_.plans_found;
   return best;
 }
 

@@ -17,8 +17,18 @@
 // Heuristic: candidates are filtered by the cut-off, sorted by penalty, and
 // truncated to `nm`; combinations of up to `m` mates are enumerated
 // depth-first with branch-and-bound pruning on the penalty lower bound.
+//
+// Cost model: with a MateRegistry attached (set_mate_registry — the
+// SdPolicyScheduler wires its own), candidate collection walks only the
+// eligible-mate ids instead of the whole job registry; with a
+// ClusterStateIndex attached (set_cluster_index), free-node picks go
+// through the class-partitioned free-run index. Loop invariants of the DFS
+// (the guest's balanced split and the free-node prefix of a plan) are
+// resolved once per select() / per free_used value, never per evaluated
+// combination. Decisions are identical either way — the fallbacks scan.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "cluster/machine.h"
@@ -28,10 +38,24 @@
 
 namespace sdsched {
 
+class ClusterStateIndex;
+class MateRegistry;
+
 class MateSelector {
  public:
   MateSelector(const Machine& machine, const JobRegistry& jobs, const SdConfig& config) noexcept
       : machine_(machine), jobs_(jobs), config_(config) {}
+
+  /// Walk this registry's eligible-mate ids instead of scanning every job.
+  void set_mate_registry(const MateRegistry* registry) noexcept { registry_ = registry; }
+
+  /// Resolve free-node picks through the index instead of the machine scan.
+  void set_cluster_index(const ClusterStateIndex* index) noexcept { index_ = index; }
+
+  /// `job` finished: free its cached budget storage. Keeps the cache's heap
+  /// footprint proportional to the *running* population instead of every
+  /// job ever examined (archive-scale traces submit hundreds of thousands).
+  void release_budgets(JobId job) noexcept;
 
   /// Best mate plan for `guest` at `now` under cut-off `max_slowdown`
   /// (Eq. 2's P), or nullopt when no feasible combination exists.
@@ -48,6 +72,15 @@ class MateSelector {
   [[nodiscard]] bool eligible_mate(const Job& candidate, const Job& guest,
                                    SimTime now) const noexcept;
 
+  /// Work counters (observability for `micro_scheduler --sd-pass`).
+  struct SelectStats {
+    std::uint64_t selects = 0;                 ///< select() calls
+    std::uint64_t candidates_scanned = 0;      ///< jobs examined for the mate role
+    std::uint64_t combinations_evaluated = 0;  ///< DFS leaf evaluations
+    std::uint64_t plans_found = 0;             ///< selects that produced a plan
+  };
+  [[nodiscard]] const SelectStats& stats() const noexcept { return stats_; }
+
  private:
   struct NodeBudget {
     int node = -1;
@@ -57,24 +90,66 @@ class MateSelector {
     int idle = 0;            ///< free cores on the node
     int guest_max = 0;       ///< most the guest could get on this node
   };
+  /// A candidate's per-share budgets are guest-independent (unless
+  /// adaptive sharing ties the SharingFactor to the pairing), so they are
+  /// cached per job and recomputed only when the cluster index reports a
+  /// machine notification (mutation_serial — budgets read per-share core
+  /// counts below the resolution of the index's change-only version) —
+  /// the share walk (which sums node occupants per share) went from once
+  /// per select() to once per cluster mutation.
+  struct CachedBudgets {
+    std::uint64_t version = 0;  ///< index mutation serial the budgets reflect
+    bool valid = false;         ///< version/contents are meaningful
+    bool feasible = false;      ///< every share can host >= 1 guest cpu
+    std::vector<NodeBudget> nodes;
+    /// Quick-penalty memo: worst kept/static ratio for the last per-node
+    /// guest need (u_max) asked about — guests overwhelmingly share one
+    /// u_max (whole nodes), so the per-share minimum collapses to a hit.
+    int memo_u_max = -1;
+    double memo_ratio = 1.0;
+  };
   struct Candidate {
     JobId id = kInvalidJob;
     int weight = 0;            ///< node count (Eq. 3's w_i)
     double sort_penalty = 0.0; ///< Eq. 4 with the quick duration estimate
-    std::vector<NodeBudget> nodes;
+    /// Budgets live in budget_cache_ (stable for the duration of a select).
+    const std::vector<NodeBudget>* nodes = nullptr;
+  };
+  /// The free-node part of a plan — constant for a given free_used value,
+  /// resolved once before the DFS instead of once per combination.
+  struct FreePrefix {
+    std::vector<SharePlan> nodes;
+    double guest_rate = 1e300;  ///< min over free nodes of granted/needed
   };
 
   [[nodiscard]] std::vector<Candidate> collect_candidates(const Job& guest, SimTime now,
                                                           double max_slowdown,
                                                           SimTime guest_runtime) const;
+  void examine_candidate(const Job& job, const Job& guest, SimTime now,
+                         double max_slowdown, SimTime quick_d0, int u_max,
+                         std::vector<Candidate>& out) const;
+  [[nodiscard]] CachedBudgets& budgets_for(const Job& job, const Job& guest) const;
+  [[nodiscard]] bool resolve_free_prefix(const Job& guest, int free_used,
+                                         const std::vector<int>& needs,
+                                         FreePrefix& out) const;
   [[nodiscard]] std::optional<MatePlan> evaluate_combination(
       const Job& guest, SimTime now, double max_slowdown,
-      const std::vector<const Candidate*>& combo, int free_nodes,
-      SimTime guest_runtime) const;
+      const std::vector<const Candidate*>& combo, const std::vector<int>& needs,
+      const FreePrefix& free_prefix, SimTime guest_runtime) const;
 
   const Machine& machine_;
   const JobRegistry& jobs_;
   const SdConfig& config_;
+  const MateRegistry* registry_ = nullptr;
+  const ClusterStateIndex* index_ = nullptr;
+  mutable SelectStats stats_;
+  /// Indexed by JobId; sized to the job registry at the start of a collect,
+  /// so entries (and the pointers Candidates take into them) stay put for
+  /// the whole select. Budgets are reused across selects and passes while
+  /// the index version is unchanged; without an index (or with adaptive
+  /// sharing, whose SharingFactor depends on the guest) every examine
+  /// refills its slot — the historical cost, bit-identical results.
+  mutable std::vector<CachedBudgets> budget_cache_;
 };
 
 }  // namespace sdsched

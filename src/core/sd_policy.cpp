@@ -1,11 +1,22 @@
 #include "core/sd_policy.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "core/estimator.h"
 #include "util/logging.h"
 
 namespace sdsched {
+
+void SdPolicyScheduler::schedule_pass(SimTime now) {
+#ifdef SDSCHED_INDEX_CROSSCHECK
+  std::string diagnosis;
+  const bool consistent = mate_registry_.check_consistent(jobs_, &diagnosis);
+  if (!consistent) log_error("sd", "mate registry inconsistent: ", diagnosis);
+  assert(consistent && "MateRegistry diverged from the job scan");
+#endif
+  BackfillScheduler::schedule_pass(now);
+}
 
 bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
                                       ReservationProfile& profile) {
@@ -22,7 +33,8 @@ bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
     return false;
   }
 
-  const double cutoff = compute_cutoff(sd_config_.cutoff, jobs_, now);
+  const double cutoff =
+      compute_cutoff(sd_config_.cutoff, jobs_, mate_registry_.running(), now);
 
   // Free nodes a plan may borrow without displacing this pass's
   // reservations: whatever stays free for the quick-estimate duration.
@@ -34,6 +46,14 @@ bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
     const int cap = std::min(machine_.free_node_count(), job.spec.req_nodes - 1);
     if (cap >= 1) {
       max_free_nodes = std::clamp(profile.min_available(now, d0), 0, cap);
+      if (max_free_nodes > 0 && !job.spec.constraints.unconstrained()) {
+        // The shared profile counts ineligible nodes as available; the
+        // class layer keeps a constrained guest from over-capping its
+        // free-node budget with nodes its plan could never take.
+        if (ReservationProfile* layer = class_profile(now, job.spec.constraints)) {
+          max_free_nodes = std::clamp(layer->min_available(now, d0), 0, max_free_nodes);
+        }
+      }
     }
   }
 
@@ -53,11 +73,14 @@ bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
 
   // Keep the pass profile truthful: mates now hold their nodes longer, and
   // any free nodes the guest borrowed are occupied until mall_end.
+  // These windows are occupancy-backed: start_guest below stretches the
+  // mates' predicted ends and occupies the borrowed free nodes, so the
+  // index (and any class layer built later this pass) sees them directly.
   for (std::size_t i = 0; i < plan->mates.size(); ++i) {
     const Job& mate = jobs_.at(plan->mates[i]);
     if (plan->mate_increases[i] > 0) {
-      profile.reserve(mate.predicted_end, mate.predicted_end + plan->mate_increases[i],
-                      mate.spec.req_nodes);
+      reserve_window(mate.predicted_end, mate.predicted_end + plan->mate_increases[i],
+                     mate.spec.req_nodes, /*occupancy_backed=*/true);
     }
   }
   int free_borrowed = 0;
@@ -65,13 +88,14 @@ bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
     if (entry.mate == kInvalidJob) ++free_borrowed;
   }
   if (free_borrowed > 0) {
-    profile.reserve(now, mall_end, free_borrowed);
+    reserve_window(now, mall_end, free_borrowed, /*occupancy_backed=*/true);
   }
 
   log_debug("sd", "job ", job.spec.id, " -> malleable start, ", plan->mates.size(),
             " mates, PI=", plan->performance_impact, ", saves ",
             static_end - mall_end, "s");
   executor_.start_guest(job.spec.id, *plan);
+  on_job_started(job.spec.id);
   ++malleable_starts_;
   return true;
 }

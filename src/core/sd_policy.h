@@ -11,9 +11,17 @@
 // minimum-Performance-Impact mate set. A successful plan starts the job
 // immediately on the mates' shrunk shares, extends the mates' predicted
 // ends, and keeps the pass's reservation profile consistent.
+//
+// The policy owns a MateRegistry — the incrementally maintained running /
+// eligible-mate id sets fed by the start and finish notifications the
+// schedulers emit — so neither the DynAVGSD cut-off nor candidate
+// collection rescans the whole job registry per malleable-start attempt.
+// Under SDSCHED_INDEX_CROSSCHECK every pass re-derives the registry by
+// brute force and asserts agreement.
 #pragma once
 
 #include "core/cutoff.h"
+#include "core/mate_registry.h"
 #include "core/mate_selector.h"
 #include "core/sd_config.h"
 #include "sched/backfill.h"
@@ -26,10 +34,27 @@ class SdPolicyScheduler final : public BackfillScheduler {
                     SchedConfig sched_config, SdConfig sd_config) noexcept
       : BackfillScheduler(machine, jobs, executor, sched_config),
         sd_config_(sd_config),
-        selector_(machine, jobs, sd_config_) {}
+        selector_(machine, jobs, sd_config_) {
+    // Warm-start scenarios construct the scheduler against running jobs.
+    mate_registry_.seed(jobs_);
+    selector_.set_mate_registry(&mate_registry_);
+  }
 
   [[nodiscard]] const char* name() const noexcept override { return "sd-policy"; }
   [[nodiscard]] const SdConfig& sd_config() const noexcept { return sd_config_; }
+
+  void schedule_pass(SimTime now) override;
+
+  void set_cluster_index(const ClusterStateIndex* index) noexcept override {
+    BackfillScheduler::set_cluster_index(index);
+    selector_.set_cluster_index(index);
+  }
+
+  void on_finish(JobId job) override {
+    mate_registry_.on_finish(job);
+    selector_.release_budgets(job);
+    BackfillScheduler::on_finish(job);
+  }
 
   // Decision counters (observability; Fig. 7 uses kernel-side records).
   [[nodiscard]] std::uint64_t malleable_starts() const noexcept { return malleable_starts_; }
@@ -40,13 +65,21 @@ class SdPolicyScheduler final : public BackfillScheduler {
     return selection_failures_;
   }
 
+  /// Mate-selection work counters (micro_scheduler --sd-pass).
+  [[nodiscard]] const MateSelector::SelectStats& selector_stats() const noexcept {
+    return selector_.stats();
+  }
+
  protected:
   bool try_malleable(SimTime now, Job& job, SimTime est_start,
                      ReservationProfile& profile) override;
 
+  void on_job_started(JobId job) override { mate_registry_.on_start(jobs_.at(job)); }
+
  private:
   SdConfig sd_config_;
   MateSelector selector_;
+  MateRegistry mate_registry_;
   std::uint64_t malleable_starts_ = 0;
   std::uint64_t estimate_rejections_ = 0;
   std::uint64_t selection_failures_ = 0;

@@ -25,6 +25,11 @@ int BackfillScheduler::eligible_nodes(const JobConstraints& constraints) const {
 }
 
 ReservationProfile& BackfillScheduler::pass_profile(SimTime now) {
+  // A new pass invalidates the per-class layers and the reservation log
+  // they replay; the shared base below survives when nothing changed.
+  class_layers_.clear();
+  pass_reserves_.clear();
+
   if (cluster_index_ != nullptr) {
 #ifdef SDSCHED_INDEX_CROSSCHECK
     std::string diagnosis;
@@ -68,6 +73,46 @@ ReservationProfile& BackfillScheduler::pass_profile(SimTime now) {
   return profile_;
 }
 
+ReservationProfile* BackfillScheduler::class_profile(SimTime now,
+                                                     const JobConstraints& constraints) {
+  if (cluster_index_ == nullptr || constraints.unconstrained()) return nullptr;
+  const int classes = cluster_index_->class_count();
+  if (classes <= 1 || classes > 64) return nullptr;  // class-blind profile is exact / no mask
+  const std::uint64_t mask = cluster_index_->eligible_class_mask(constraints);
+  const std::uint64_t all =
+      classes == 64 ? ~0ull : ((1ull << static_cast<unsigned>(classes)) - 1);
+  if (mask == all) return nullptr;  // attribute filters do not bite (e.g. contiguous-only)
+  for (ClassLayer& layer : class_layers_) {
+    if (layer.mask == mask) return &layer.profile;
+  }
+  ClassLayer layer;
+  layer.mask = mask;
+  cluster_index_->busy_groups_for_mask(mask, now, scratch_groups_);
+  layer.profile.set_base(cluster_index_->node_count_for_mask(mask), now, scratch_groups_);
+  // Replay what this pass reserved with no machine-state backing (the base
+  // snapshot above already contains every start the pass applied — see
+  // reserve_window). Reservations are class-blind node counts, so the
+  // layer conservatively assumes they consume eligible nodes (estimates
+  // may come out later than necessary, never too early — actual starts are
+  // still gated by find_free_nodes).
+  for (const WindowReserve& r : pass_reserves_) {
+    layer.profile.reserve(r.start, r.end, r.nodes);
+  }
+  class_layers_.push_back(std::move(layer));
+  ++class_layer_builds_;
+  return &class_layers_.back().profile;
+}
+
+void BackfillScheduler::reserve_window(SimTime start, SimTime end, int nodes,
+                                       bool occupancy_backed) {
+  profile_.reserve(start, end, nodes);
+  if (!occupancy_backed) pass_reserves_.push_back(WindowReserve{start, end, nodes});
+  // Layers already built predate this step either way: mirror into them.
+  for (ClassLayer& layer : class_layers_) {
+    layer.profile.reserve(start, end, nodes);
+  }
+}
+
 void BackfillScheduler::schedule_pass(SimTime now) {
   if (queue_.empty()) return;
   ReservationProfile& profile = pass_profile(now);
@@ -86,7 +131,7 @@ void BackfillScheduler::schedule_pass(SimTime now) {
       continue;
     }
     const SimTime planned = effective_req_time(job.spec);
-    const SimTime est = profile.earliest_start(req_nodes, planned, now);
+    SimTime est = profile.earliest_start(req_nodes, planned, now);
     if (est == ReservationProfile::kNever) {
       // Larger than the machine (cannot happen for prepared workloads).
       log_warn("backfill", "job ", id, " can never fit; cancelling");
@@ -95,12 +140,25 @@ void BackfillScheduler::schedule_pass(SimTime now) {
       ++cancelled_;
       continue;
     }
+    if (!job.spec.constraints.unconstrained()) {
+      // The shared profile is class-blind; the class layer knows how many
+      // *eligible* nodes are free over the window. Take the later of the
+      // two answers — exact where the counts model applies.
+      if (ReservationProfile* layer = class_profile(now, job.spec.constraints)) {
+        const SimTime class_est = layer->earliest_start(req_nodes, planned, now);
+        assert(class_est != ReservationProfile::kNever &&
+               "eligible-node cancel check bounds the class-layer capacity");
+        est = std::max(est, class_est);
+      }
+    }
     if (est == now) {
-      const auto nodes = machine_.find_free_nodes(req_nodes, &job.spec.constraints);
+      const auto nodes = find_free_nodes(req_nodes, job.spec.constraints);
       if (nodes) {
         queue_.remove(id);
-        profile.reserve(now, now + std::max<SimTime>(planned, 1), req_nodes);
+        reserve_window(now, now + std::max<SimTime>(planned, 1), req_nodes,
+                       /*occupancy_backed=*/true);
         executor_.start_static(id, *nodes);
+        on_job_started(id);
         continue;
       }
       if (job.spec.constraints.unconstrained()) {
@@ -109,10 +167,14 @@ void BackfillScheduler::schedule_pass(SimTime now) {
         log_error("backfill", "profile/machine divergence for job ", id);
         continue;
       }
-      // Constrained job: the shared (class-blind) profile overestimated its
-      // availability. Hold the nodes conservatively and retry next pass.
+      // Constrained job the counts model could not protect: with a class
+      // layer this is only reachable for contiguous requests (fragmentation
+      // is invisible to per-class counts); without an index the class-blind
+      // profile overestimated availability. Hold the nodes conservatively
+      // and retry next pass.
       if (reservations < config_.reservation_depth) {
-        profile.reserve(now, now + std::max<SimTime>(planned, 1), req_nodes);
+        reserve_window(now, now + std::max<SimTime>(planned, 1), req_nodes,
+                       /*occupancy_backed=*/false);
         ++reservations;
       }
       continue;
@@ -122,7 +184,8 @@ void BackfillScheduler::schedule_pass(SimTime now) {
       continue;
     }
     if (reservations < config_.reservation_depth) {
-      profile.reserve(est, est + std::max<SimTime>(planned, 1), req_nodes);
+      reserve_window(est, est + std::max<SimTime>(planned, 1), req_nodes,
+                     /*occupancy_backed=*/false);
       ++reservations;
     }
   }

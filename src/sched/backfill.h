@@ -14,8 +14,24 @@
 //     in the same pass must not delay.
 // The resulting decisions are identical to the historical rebuild-per-pass
 // scheme (SLURM backfill-cycle semantics); only the cost changed.
+//
+// Constrained jobs additionally read a per-attribute-class profile layer:
+// the shared profile is class-blind, so a job whose constraints exclude
+// part of the machine used to see over-optimistic earliest starts and fall
+// back to a conservative hold-and-retry when the promised nodes turned out
+// ineligible. With a cluster index attached, class_profile() assembles (per
+// pass, lazily, cached per eligible-class mask) a profile over just the
+// eligible classes from the index's per-class release groups; constrained
+// estimates take the max of the shared and class-restricted answers, which
+// eliminates the hold-and-retry for attribute-constrained jobs (contiguity
+// is not modelled by counts, so contiguous requests keep the fallback).
+// Pass reservations are mirrored into every built layer (conservatively
+// class-blind: a reservation may consume eligible nodes, so layers assume
+// it does). Unconstrained workloads never build a layer and behave — and
+// decide — exactly as before.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -40,6 +56,11 @@ class BackfillScheduler : public Scheduler {
   [[nodiscard]] std::uint64_t profile_reuses() const noexcept { return profile_reuses_; }
   [[nodiscard]] std::uint64_t profile_rebuilds() const noexcept { return profile_rebuilds_; }
 
+  /// Per-class profile layers assembled for constrained jobs (observability).
+  [[nodiscard]] std::uint64_t class_layer_builds() const noexcept {
+    return class_layer_builds_;
+  }
+
   /// Breakpoints currently held by the pass profile (bench observability).
   [[nodiscard]] std::size_t profile_breakpoints() const noexcept {
     return profile_.breakpoint_count();
@@ -49,7 +70,8 @@ class BackfillScheduler : public Scheduler {
   /// Policy hook: attempt a malleable start for `job`, whose statically
   /// estimated start is `est_start` (> now). Implementations must apply the
   /// start through the executor, keep `profile` consistent (extend mates'
-  /// occupancy, reserve free nodes they consume) and return true.
+  /// occupancy, reserve free nodes they consume — via reserve_window so the
+  /// class layers stay in sync) and return true.
   virtual bool try_malleable(SimTime now, Job& job, SimTime est_start,
                              ReservationProfile& profile);
 
@@ -62,15 +84,49 @@ class BackfillScheduler : public Scheduler {
   /// through the index, O(nodes) through the machine without one.
   [[nodiscard]] int eligible_nodes(const JobConstraints& constraints) const;
 
+  /// The per-pass profile layer restricted to `constraints`' eligible
+  /// attribute classes, or nullptr when the class-blind profile is already
+  /// exact (unconstrained request, single-class machine, attribute filters
+  /// matching every class) or no index is attached. Built lazily once per
+  /// (pass, eligible-class mask) with this pass's reservations replayed.
+  /// The pointer is invalidated by the next class_profile() call.
+  [[nodiscard]] ReservationProfile* class_profile(SimTime now,
+                                                  const JobConstraints& constraints);
+
+  /// Reserve on the shared pass profile AND mirror into every class layer
+  /// already built this pass. All pass reservations must go through here.
+  ///
+  /// `occupancy_backed` says the reserved window corresponds to a start the
+  /// executor applies in this very step (static start, mate stretch, free
+  /// nodes a guest borrows): the cluster index reflects it from the moment
+  /// the start lands, so a class layer built *later* in the pass already
+  /// sees it in its base snapshot and must NOT replay it — only windows
+  /// with no machine-state backing (reservations for future starts, the
+  /// contiguous hold-and-retry) go into the replay log.
+  void reserve_window(SimTime start, SimTime end, int nodes, bool occupancy_backed);
+
  private:
   std::uint64_t cancelled_ = 0;
   std::uint64_t profile_reuses_ = 0;
   std::uint64_t profile_rebuilds_ = 0;
+  std::uint64_t class_layer_builds_ = 0;
 
   ReservationProfile profile_;
   std::uint64_t profile_version_ = 0;  ///< index version the base reflects
   bool profile_valid_ = false;
   std::vector<std::pair<SimTime, int>> scratch_groups_;  ///< reused allocation
+
+  struct ClassLayer {
+    std::uint64_t mask = 0;  ///< eligible-class bit set this layer covers
+    ReservationProfile profile;
+  };
+  struct WindowReserve {
+    SimTime start;
+    SimTime end;
+    int nodes;
+  };
+  std::vector<ClassLayer> class_layers_;     ///< this pass's layers (lazily built)
+  std::vector<WindowReserve> pass_reserves_; ///< this pass's reservations, in order
 };
 
 }  // namespace sdsched

@@ -9,10 +9,11 @@ void FcfsScheduler::schedule_pass(SimTime now) {
   // job that cannot be placed blocks everything behind it.
   for (const JobId id : scheduling_order(now)) {
     const Job& job = jobs_.at(id);
-    const auto nodes = machine_.find_free_nodes(job.spec.req_nodes, &job.spec.constraints);
+    const auto nodes = find_free_nodes(job.spec.req_nodes, job.spec.constraints);
     if (!nodes) return;  // head blocks
     queue_.remove(id);
     executor_.start_static(id, *nodes);
+    on_job_started(id);
   }
 }
 

@@ -1,3 +1,12 @@
 #include "sched/scheduler.h"
 
-// Interface-only translation unit: keeps the vtable anchored here.
+#include "cluster/cluster_state_index.h"
+
+namespace sdsched {
+
+std::optional<std::vector<int>> Scheduler::find_free_nodes(
+    int count, const JobConstraints& constraints) const {
+  return pick_free_nodes(machine_, cluster_index_, count, &constraints);
+}
+
+}  // namespace sdsched

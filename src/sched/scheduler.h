@@ -93,10 +93,12 @@ class Scheduler {
   }
 
   /// Install the event-driven cluster index. With it, profile bases are
-  /// incremental snapshots and constraint filtering is O(attribute classes);
+  /// incremental snapshots, constraint filtering is O(attribute classes)
+  /// and free-node picks go through the class-partitioned free-run index;
   /// without it (standalone schedulers in unit tests), passes fall back to
-  /// the full machine scan.
-  void set_cluster_index(const ClusterStateIndex* index) noexcept {
+  /// the full machine scan. Virtual so policies can forward the index to
+  /// the components they own (SD-Policy hands it to its MateSelector).
+  virtual void set_cluster_index(const ClusterStateIndex* index) noexcept {
     cluster_index_ = index;
   }
 
@@ -107,6 +109,19 @@ class Scheduler {
   }
 
  protected:
+  /// Lifecycle hook fired by the concrete schedulers right after a start is
+  /// applied through the executor (static or guest). Policies that maintain
+  /// incremental job sets (SD-Policy's mate registry) override it; paired
+  /// with on_finish(), it sees every running-set transition.
+  virtual void on_job_started(JobId /*job*/) {}
+
+  /// Free-node picking: O(runs touched) through the class-partitioned
+  /// free-run index when one is attached, the ordered machine scan
+  /// otherwise. Identical node ids either way (cross-checked per call
+  /// under SDSCHED_INDEX_CROSSCHECK).
+  [[nodiscard]] std::optional<std::vector<int>> find_free_nodes(
+      int count, const JobConstraints& constraints) const;
+
   /// Queue view in scheduling order under the configured priority. Cached
   /// inside the WaitQueue: rebuilt only after a push/remove (or, for
   /// time-dependent priorities, when `now` moves), so a pass over an

@@ -1,0 +1,171 @@
+// The class-partitioned free-run index must return exactly the node ids
+// Machine::find_free_nodes returns — lowest-first picks, eligible-class
+// filtering, earliest contiguous runs — through arbitrary allocate/release
+// churn. Unit tests cover the run merge/split mechanics; the property test
+// drives a heterogeneous cluster through a random lifecycle and probes
+// every (constraints x contiguous x count) combination each step.
+#include "cluster/free_node_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster_state_index.h"
+#include "drom/node_manager.h"
+
+namespace sdsched {
+namespace {
+
+TEST(FreeNodeIndex, RunsMergeAndSplit) {
+  // One class over ids 0..7.
+  FreeNodeIndex index(std::vector<int>(8, 0), 1);
+  EXPECT_EQ(index.free_count(), 8);
+  EXPECT_EQ(index.runs_of_class(0), (std::map<int, int>{{0, 8}}));
+
+  index.erase(3);  // split [0,8) -> [0,3) + [4,8)
+  EXPECT_EQ(index.runs_of_class(0), (std::map<int, int>{{0, 3}, {4, 4}}));
+  index.erase(0);  // trim the head
+  EXPECT_EQ(index.runs_of_class(0), (std::map<int, int>{{1, 2}, {4, 4}}));
+  index.erase(7);  // trim the tail
+  EXPECT_EQ(index.runs_of_class(0), (std::map<int, int>{{1, 2}, {4, 3}}));
+
+  index.insert(3);  // bridge [1,3) + {3} + [4,7) -> [1,7)
+  EXPECT_EQ(index.runs_of_class(0), (std::map<int, int>{{1, 6}}));
+  EXPECT_EQ(index.free_count(), 6);
+
+  std::vector<bool> is_free{false, true, true, true, true, true, true, false};
+  std::string diag;
+  EXPECT_TRUE(index.check_consistent(is_free, &diag)) << diag;
+}
+
+TEST(FreeNodeIndex, RunsNeverBridgeAcrossClasses) {
+  // Ids 0,1 class 0; id 2 class 1; ids 3,4 class 0: the class-0 runs stay
+  // split by the foreign id even when everything is free.
+  FreeNodeIndex index({0, 0, 1, 0, 0}, 2);
+  EXPECT_EQ(index.runs_of_class(0), (std::map<int, int>{{0, 2}, {3, 2}}));
+  EXPECT_EQ(index.runs_of_class(1), (std::map<int, int>{{2, 1}}));
+
+  // But a multi-class pick walks the union in id order: contiguous spans
+  // may cross class boundaries.
+  const auto span = index.pick(5, {0, 1}, /*contiguous=*/true);
+  ASSERT_TRUE(span.has_value());
+  EXPECT_EQ(*span, (std::vector<int>{0, 1, 2, 3, 4}));
+  // Class 0 alone has no 3-run.
+  EXPECT_FALSE(index.pick(3, {0}, /*contiguous=*/true).has_value());
+  EXPECT_EQ(*index.pick(3, {0}, /*contiguous=*/false), (std::vector<int>{0, 1, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Property: ClusterStateIndex::find_free_nodes == Machine::find_free_nodes.
+// ---------------------------------------------------------------------------
+
+struct Cluster {
+  Cluster() {
+    MachineConfig mc;
+    mc.nodes = 16;
+    mc.node = NodeConfig{2, 4};
+    NodeAttributes highmem;
+    highmem.memory_gb = 384;
+    NodeAttributes arm;
+    arm.arch = "aarch64";
+    // Interleave the classes so per-class runs fragment interestingly.
+    for (const int id : {4, 5, 10, 11, 14}) mc.attribute_overrides.emplace_back(id, highmem);
+    for (const int id : {7, 8, 15}) mc.attribute_overrides.emplace_back(id, arm);
+    machine.emplace(mc);
+    index.emplace(*machine, jobs);
+  }
+
+  JobId add_running(SimTime now, int req_nodes, SimTime runtime) {
+    JobSpec spec;
+    spec.submit = now;
+    spec.req_cpus = req_nodes * machine->cores_per_node();
+    spec.req_nodes = req_nodes;
+    spec.req_time = runtime;
+    spec.base_runtime = runtime;
+    const JobId id = jobs.add(spec);
+    Job& job = jobs.at(id);
+    job.state = JobState::Running;
+    job.start_time = now;
+    job.predicted_end = now + runtime;
+    return id;
+  }
+
+  JobRegistry jobs;
+  DromRegistry drom;
+  std::optional<Machine> machine;
+  std::optional<ClusterStateIndex> index;
+  std::vector<JobId> running;
+};
+
+TEST(FreeNodeIndex, RandomizedChurnMatchesMachineScan) {
+  Cluster c;
+  NodeManager mgr(*c.machine, c.jobs, c.drom);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto rnd = [&state](std::uint64_t bound) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state % bound;
+  };
+
+  JobConstraints highmem;
+  highmem.min_memory_gb = 128;
+  JobConstraints arm;
+  arm.required_arch = "aarch64";
+  JobConstraints broad;  // matches default + highmem classes
+  broad.required_network = "opa";
+  const std::vector<const JobConstraints*> attr_probes{nullptr, &highmem, &arm, &broad};
+
+  SimTime now = 0;
+  std::string diag;
+  int starts = 0;
+  for (int step = 0; step < 500; ++step) {
+    now += static_cast<SimTime>(rnd(20));
+    if (rnd(2) == 0) {
+      // Allocate: random size on the machine's own pick (any eligible set).
+      const int want = 1 + static_cast<int>(rnd(4));
+      JobConstraints* probe = nullptr;  // unconstrained placement
+      const auto nodes = c.machine->find_free_nodes(want, probe);
+      if (nodes) {
+        const JobId id = c.add_running(now, want, 10 + static_cast<SimTime>(rnd(300)));
+        mgr.start_static(now, id, *nodes);
+        c.running.push_back(id);
+        ++starts;
+      }
+    } else if (!c.running.empty()) {
+      const std::size_t pick = rnd(c.running.size());
+      const JobId id = c.running[pick];
+      c.running.erase(c.running.begin() + static_cast<std::ptrdiff_t>(pick));
+      c.jobs.at(id).state = JobState::Completed;
+      c.jobs.at(id).end_time = now;
+      mgr.finish_job(now, id);
+    }
+
+    ASSERT_TRUE(c.index->check_consistent(&diag)) << "step " << step << ": " << diag;
+
+    // Probe every (constraints x contiguous x count) cell against the scan.
+    for (const JobConstraints* attrs : attr_probes) {
+      for (const bool contiguous : {false, true}) {
+        JobConstraints probe = attrs != nullptr ? *attrs : JobConstraints{};
+        probe.contiguous = contiguous;
+        const JobConstraints* arg =
+            (attrs == nullptr && !contiguous) ? nullptr : &probe;
+        for (const int count :
+             {1, 2, 3, c.machine->free_node_count(), c.machine->node_count()}) {
+          if (count < 1) continue;
+          const auto indexed = c.index->find_free_nodes(count, arg);
+          const auto scanned = c.machine->find_free_nodes(count, arg);
+          ASSERT_EQ(indexed, scanned)
+              << "step " << step << " count " << count << " contiguous " << contiguous
+              << " attrs " << (attrs != nullptr);
+        }
+      }
+    }
+  }
+  EXPECT_GT(starts, 50);  // the walk actually exercised occupancy churn
+}
+
+}  // namespace
+}  // namespace sdsched

@@ -1,0 +1,274 @@
+// The MateRegistry must mirror a brute-force job-table scan through the
+// whole lifecycle (starts, guest starts, finishes), and a registry-backed
+// MateSelector must make the *identical* decisions the full-scan selector
+// makes — the parity contract behind the SD hot-path speedup.
+#include "core/mate_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <optional>
+
+#include "cluster/cluster_state_index.h"
+#include "core/mate_selector.h"
+#include "drom/node_manager.h"
+
+namespace sdsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+JobSpec spec_of(SimTime submit, SimTime req_time, int req_nodes, int cores_per_node,
+                MalleabilityClass cls = MalleabilityClass::Malleable) {
+  JobSpec spec;
+  spec.submit = submit;
+  spec.req_time = req_time;
+  spec.base_runtime = req_time;
+  spec.req_cpus = req_nodes * cores_per_node;
+  spec.req_nodes = req_nodes;
+  spec.malleability = cls;
+  return spec;
+}
+
+TEST(MateRegistry, TracksLifecycleTransitions) {
+  JobRegistry jobs;
+  MateRegistry registry;
+
+  const JobId malleable = jobs.add(spec_of(0, 100, 1, 48));
+  const JobId rigid = jobs.add(spec_of(0, 100, 1, 48, MalleabilityClass::Rigid));
+  const JobId guest = jobs.add(spec_of(0, 100, 1, 48));
+
+  jobs.at(malleable).state = JobState::Running;
+  registry.on_start(jobs.at(malleable));
+  jobs.at(rigid).state = JobState::Running;
+  registry.on_start(jobs.at(rigid));
+  jobs.at(guest).state = JobState::Running;
+  jobs.at(guest).started_as_guest = true;
+  registry.on_start(jobs.at(guest));
+
+  // All three run; only the plain malleable job is mate-eligible.
+  EXPECT_EQ(registry.running(), (std::vector<JobId>{malleable, rigid, guest}));
+  EXPECT_EQ(registry.mates(), (std::vector<JobId>{malleable}));
+  std::string diag;
+  EXPECT_TRUE(registry.check_consistent(jobs, &diag)) << diag;
+
+  jobs.at(malleable).state = JobState::Completed;
+  registry.on_finish(malleable);
+  EXPECT_EQ(registry.running(), (std::vector<JobId>{rigid, guest}));
+  EXPECT_TRUE(registry.mates().empty());
+  EXPECT_TRUE(registry.check_consistent(jobs, &diag)) << diag;
+}
+
+TEST(MateRegistry, SeedIndexesAPopulatedRegistry) {
+  JobRegistry jobs;
+  const JobId a = jobs.add(spec_of(0, 100, 1, 48));
+  const JobId b = jobs.add(spec_of(0, 100, 1, 48));
+  jobs.at(a).state = JobState::Running;
+  jobs.at(b).state = JobState::Running;
+  jobs.at(b).started_as_guest = true;
+
+  MateRegistry registry;
+  registry.seed(jobs);
+  EXPECT_EQ(registry.running(), (std::vector<JobId>{a, b}));
+  EXPECT_EQ(registry.mates(), (std::vector<JobId>{a}));
+}
+
+TEST(MateRegistry, CheckConsistentCatchesAMissedStart) {
+  JobRegistry jobs;
+  const JobId a = jobs.add(spec_of(0, 100, 1, 48));
+  jobs.at(a).state = JobState::Running;
+
+  MateRegistry registry;  // never told about `a`
+  std::string diag;
+  EXPECT_FALSE(registry.check_consistent(jobs, &diag));
+  EXPECT_FALSE(diag.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Parity: registry-backed selection == full-scan selection over a recorded
+// random lifecycle.
+// ---------------------------------------------------------------------------
+
+bool plans_equal(const std::optional<MatePlan>& a, const std::optional<MatePlan>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a) return true;
+  if (a->mates != b->mates || a->mate_increases != b->mate_increases) return false;
+  if (a->guest_increase != b->guest_increase || a->guest_duration != b->guest_duration) {
+    return false;
+  }
+  if (a->performance_impact != b->performance_impact) return false;
+  if (a->nodes.size() != b->nodes.size()) return false;
+  for (std::size_t i = 0; i < a->nodes.size(); ++i) {
+    const SharePlan& x = a->nodes[i];
+    const SharePlan& y = b->nodes[i];
+    if (x.node != y.node || x.mate != y.mate || x.guest_cpus != y.guest_cpus ||
+        x.mate_kept_cpus != y.mate_kept_cpus ||
+        x.guest_static_cpus != y.guest_static_cpus) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(MateRegistry, BudgetCacheSeesOccupancyChangesBelowTheIndexVersion) {
+  // A guest finishing on a node whose mate's predicted end dominates
+  // changes the node's core split but NOT its free_at — the index version
+  // does not move (profile reuse depends on that), yet the selector's
+  // cached budgets must refresh or it diverges from the machine truth.
+  MachineConfig mc;
+  mc.nodes = 2;
+  mc.node = NodeConfig{2, 24};
+  Machine machine(mc);
+  JobRegistry jobs;
+  DromRegistry drom;
+  NodeManager mgr(machine, jobs, drom);
+  ClusterStateIndex index(machine, jobs);
+  MateRegistry registry;
+
+  SdConfig sd;
+  sd.max_jobs_per_node = 3;  // keep M mate-eligible while it hosts G
+  MateSelector full_scan(machine, jobs, sd);
+  MateSelector indexed(machine, jobs, sd);
+  indexed.set_mate_registry(&registry);
+  indexed.set_cluster_index(&index);
+
+  // Mate M on node 0, predicted end 10000.
+  const JobId m = jobs.add(spec_of(0, 10000, 1, 48));
+  jobs.at(m).state = JobState::Running;
+  jobs.at(m).predicted_end = 10000;
+  mgr.start_static(0, m, {0});
+  registry.on_start(jobs.at(m));
+
+  // Guest G takes 24 of M's cores; M's end still dominates the node.
+  const JobId g = jobs.add(spec_of(0, 100, 1, 48));
+  jobs.at(g).state = JobState::Running;
+  jobs.at(g).predicted_end = 200;
+  mgr.start_guest(0, g, {SharePlan{0, m, 24, 24, 48}});
+  registry.on_start(jobs.at(g));
+
+  // Populate the cache while M is shrunk: no plan fits (M cannot shed more).
+  const JobId probe1 = jobs.add(spec_of(10, 50, 1, 48));
+  const std::uint64_t version_before = index.version();
+  EXPECT_FALSE(indexed.select(jobs.at(probe1), 10, kInf).has_value());
+  EXPECT_FALSE(full_scan.select(jobs.at(probe1), 10, kInf).has_value());
+
+  // G finishes: node 0's free_at stays at M's end (no version bump), but
+  // M expands back to its full static split. (Re-fetch G: the adds above
+  // may have reallocated the registry.)
+  jobs.at(g).state = JobState::Completed;
+  jobs.at(g).end_time = 200;
+  mgr.finish_job(200, g);
+  registry.on_finish(g);
+  EXPECT_EQ(index.version(), version_before);  // below the version's resolution
+
+  // Both selectors must now see the expanded mate and agree on the plan.
+  const JobId probe2 = jobs.add(spec_of(200, 50, 1, 48));
+  const auto scan_plan = full_scan.select(jobs.at(probe2), 200, kInf);
+  const auto indexed_plan = indexed.select(jobs.at(probe2), 200, kInf);
+  ASSERT_TRUE(scan_plan.has_value());
+  ASSERT_TRUE(plans_equal(scan_plan, indexed_plan));
+}
+
+TEST(MateRegistry, SelectionParityOverRecordedLifecycle) {
+  MachineConfig mc;
+  mc.nodes = 12;
+  mc.node = NodeConfig{2, 4};
+  Machine machine(mc);
+  JobRegistry jobs;
+  DromRegistry drom;
+  NodeManager mgr(machine, jobs, drom);
+  ClusterStateIndex index(machine, jobs);
+  MateRegistry registry;
+
+  SdConfig sd;
+  MateSelector full_scan(machine, jobs, sd);  // historical path: no registry/index
+  MateSelector indexed(machine, jobs, sd);
+  indexed.set_mate_registry(&registry);
+  indexed.set_cluster_index(&index);
+
+  std::uint64_t state = 0x2545f4914f6cdd1dULL;
+  const auto rnd = [&state](std::uint64_t bound) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state % bound;
+  };
+  const auto add_pending = [&](SimTime now, int req_nodes, SimTime req_time) {
+    return jobs.add(spec_of(now, req_time, req_nodes, machine.cores_per_node()));
+  };
+
+  std::vector<JobId> running;
+  SimTime now = 0;
+  std::string diag;
+  int compared = 0;
+  for (int step = 0; step < 300; ++step) {
+    now += static_cast<SimTime>(rnd(15));
+    const std::uint64_t op = rnd(10);
+    if (op < 5) {
+      const int want = 1 + static_cast<int>(rnd(3));
+      const auto nodes = machine.find_free_nodes(want);
+      if (nodes) {
+        const auto cls = rnd(4) == 0 ? MalleabilityClass::Rigid : MalleabilityClass::Malleable;
+        const JobId id = jobs.add(
+            spec_of(now, 50 + static_cast<SimTime>(rnd(500)), want,
+                    machine.cores_per_node(), cls));
+        Job& job = jobs.at(id);
+        job.state = JobState::Running;
+        job.start_time = now;
+        job.predicted_end = now + job.spec.req_time;
+        mgr.start_static(now, id, *nodes);
+        registry.on_start(job);
+        running.push_back(id);
+      }
+    } else if (op < 7 && !running.empty()) {
+      const std::size_t pick = rnd(running.size());
+      const JobId id = running[pick];
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(pick));
+      jobs.at(id).state = JobState::Completed;
+      jobs.at(id).end_time = now;
+      mgr.finish_job(now, id);
+      registry.on_finish(id);
+    } else if (!running.empty()) {
+      // Guest start through the selector itself: take the full-scan plan
+      // (parity with the indexed one is asserted below) and apply it.
+      const JobId guest_id =
+          add_pending(now, 1 + static_cast<int>(rnd(2)), 20 + static_cast<SimTime>(rnd(60)));
+      Job& guest = jobs.at(guest_id);
+      const auto plan = full_scan.select(guest, now, kInf);
+      if (plan) {
+        guest.state = JobState::Running;
+        guest.start_time = now;
+        guest.predicted_increase = plan->guest_increase;
+        guest.predicted_end = now + guest.spec.req_time + plan->guest_increase;
+        for (std::size_t i = 0; i < plan->mates.size(); ++i) {
+          Job& mate = jobs.at(plan->mates[i]);
+          mate.predicted_increase += plan->mate_increases[i];
+          mate.predicted_end += plan->mate_increases[i];
+          index.on_predicted_end_changed(plan->mates[i]);
+        }
+        mgr.start_guest(now, guest_id, plan->nodes);
+        registry.on_start(guest);
+        running.push_back(guest_id);
+      }
+    }
+
+    ASSERT_TRUE(registry.check_consistent(jobs, &diag)) << "step " << step << ": " << diag;
+
+    // Probe guests of several shapes: both selectors must agree exactly.
+    for (const int req_nodes : {1, 2, 3}) {
+      const JobId probe = add_pending(now, req_nodes, 30);
+      const Job& guest = jobs.at(probe);
+      for (const double cutoff : {kInf, 5.0}) {
+        const auto a = full_scan.select(guest, now, cutoff);
+        const auto b = indexed.select(guest, now, cutoff);
+        ASSERT_TRUE(plans_equal(a, b))
+            << "step " << step << " req_nodes " << req_nodes << " cutoff " << cutoff;
+        if (a) ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 0);  // the walk actually produced plans to compare
+}
+
+}  // namespace
+}  // namespace sdsched

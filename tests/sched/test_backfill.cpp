@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster_state_index.h"
 #include "scheduler_test_harness.h"
 
 namespace sdsched {
@@ -159,6 +160,102 @@ TEST_F(EasyBackfillTest, DepthOneOnlyProtectsHead) {
   EXPECT_TRUE(sched_.queue().contains(b));
   EXPECT_TRUE(sched_.queue().contains(c));
   EXPECT_EQ(executor_.static_starts, (std::vector<JobId>{a, d}));
+}
+
+// Constraint-class-aware estimates: with a cluster index attached, a
+// constrained job whose eligible nodes are busy gets an exact earliest
+// start from the per-class profile layer (a reservation at the eligible
+// release) instead of the historical conservative hold-at-now — so
+// unconstrained work is no longer blocked behind it.
+class ConstrainedBackfillTest : public ::testing::Test {
+ protected:
+  ConstrainedBackfillTest()
+      : machine_(make_config()),
+        index_(machine_, jobs_),
+        mgr_(machine_, jobs_, drom_),
+        executor_(machine_, jobs_, mgr_),
+        sched_(machine_, jobs_, executor_, SchedConfig{}) {
+    sched_.set_cluster_index(&index_);
+  }
+
+  static MachineConfig make_config() {
+    MachineConfig config;
+    config.nodes = 4;
+    config.node = NodeConfig{2, 24};
+    NodeAttributes highmem;
+    highmem.memory_gb = 384;
+    config.attribute_overrides.emplace_back(2, highmem);
+    config.attribute_overrides.emplace_back(3, highmem);
+    return config;
+  }
+
+  JobId submit(int cpus, SimTime req_time, int min_memory_gb = 0, SimTime submit_time = 0) {
+    JobSpec spec = spec_of(submit_time, req_time, req_time, cpus, 48);
+    spec.constraints.min_memory_gb = min_memory_gb;
+    const JobId id = jobs_.add(spec);
+    sched_.on_submit(id);
+    return id;
+  }
+
+  Machine machine_;
+  JobRegistry jobs_;
+  ClusterStateIndex index_;
+  DromRegistry drom_;
+  NodeManager mgr_;
+  RecordingExecutor executor_;
+  BackfillScheduler sched_;
+};
+
+TEST_F(ConstrainedBackfillTest, ClassLayerReplacesHoldAndRetry) {
+  // A (highmem, 2 nodes, 100s) takes the two highmem nodes.
+  const JobId a = submit(96, 100, /*min_memory_gb=*/128);
+  sched_.schedule_pass(0);
+  ASSERT_EQ(executor_.static_starts, (std::vector<JobId>{a}));
+  EXPECT_EQ(jobs_.at(a).shares[0].node, 2);
+  EXPECT_GT(sched_.class_layer_builds(), 0u);
+
+  // B (highmem, 2 nodes): the class-blind profile sees 2 free nodes *now*,
+  // but they are the wrong class. The class layer prices B at A's release
+  // (t=100) — a plain reservation there, not a hold of [now, now+500).
+  const JobId b = submit(96, 500, /*min_memory_gb=*/128, /*submit_time=*/10);
+  // C (unconstrained, 2 nodes, 50s): fits on the default-class nodes now
+  // and ends before B's reservation. Under the historical hold-and-retry
+  // B's conservative hold would have blocked it.
+  const JobId c = submit(96, 50, /*min_memory_gb=*/0, /*submit_time=*/10);
+  executor_.now = 10;
+  sched_.schedule_pass(10);
+  EXPECT_TRUE(sched_.queue().contains(b));
+  EXPECT_EQ(executor_.static_starts, (std::vector<JobId>{a, c}));
+
+  // A finishes: B starts on the released highmem nodes.
+  finish(jobs_, mgr_, a, 100);
+  sched_.on_finish(a);
+  executor_.now = 100;
+  sched_.schedule_pass(100);
+  EXPECT_EQ(executor_.static_starts, (std::vector<JobId>{a, c, b}));
+  EXPECT_EQ(jobs_.at(b).shares[0].node, 2);
+}
+
+TEST_F(ConstrainedBackfillTest, ClassLayerDoesNotDelayEligibleStarts) {
+  // Highmem nodes free: a highmem job starts immediately through the same
+  // path (the layer agrees with the shared profile at `now`).
+  const JobId a = submit(96, 100, /*min_memory_gb=*/128);
+  sched_.schedule_pass(0);
+  EXPECT_EQ(executor_.static_starts, (std::vector<JobId>{a}));
+}
+
+TEST_F(ConstrainedBackfillTest, SamePassStartsAreNotDoubleCountedByTheLayer) {
+  // X (unconstrained, 2 nodes) starts on the default nodes earlier in the
+  // SAME pass as B (highmem, 2 nodes). X's start is visible to the layer
+  // twice over if mishandled: once through the index snapshot (its nodes
+  // are busy by the time the layer is built) and once through a replay of
+  // its start reservation. B's eligible nodes are entirely free — it must
+  // start in the same pass, as it always did before the layer existed.
+  const JobId x = submit(96, 100);
+  const JobId b = submit(96, 100, /*min_memory_gb=*/128);
+  sched_.schedule_pass(0);
+  EXPECT_EQ(executor_.static_starts, (std::vector<JobId>{x, b}));
+  EXPECT_EQ(jobs_.at(b).shares[0].node, 2);
 }
 
 TEST_F(BackfillTest, ExaminationBudgetBoundsPassWork) {
