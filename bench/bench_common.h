@@ -27,6 +27,7 @@
 
 #include "api/experiment.h"
 #include "api/sweep.h"
+#include "detlint/ruleset.h"
 #include "util/cli.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -259,6 +260,11 @@ inline void write_bench_json(const std::string& path, const char* bench_id,
   json.begin_object();
   json.field("schema", "sdsched-bench-v1");
   json.field("bench", bench_id);
+  // Determinism-contract stamp: which linter + rule table vetted the tree
+  // that produced these numbers (docs/determinism.md). A hash change between
+  // two artifacts means the contract itself moved — compare with care.
+  json.field("detlint_version", detlint::kVersion);
+  json.field("detlint_ruleset_hash", detlint::ruleset_hash());
   json.key("context");
   json.begin_object();
   json.field("scale_small", ctx.scale_small);

@@ -27,6 +27,7 @@
 #include "api/simulation.h"
 #include "cluster/cluster_state_index.h"
 #include "core/mate_registry.h"
+#include "detlint/ruleset.h"
 #include "core/mate_selector.h"
 #include "drom/node_manager.h"
 #include "sched/backfill.h"
@@ -284,6 +285,8 @@ int run_pass_metrics(int argc, char** argv) {
     json.begin_object();
     json.field("schema", "sdsched-bench-v1");
     json.field("bench", "micro_scheduler_pass");
+    json.field("detlint_version", detlint::kVersion);
+    json.field("detlint_ruleset_hash", detlint::ruleset_hash());
     json.key("context");
     json.begin_object();
     json.field("passes", passes);
@@ -484,6 +487,8 @@ int run_sd_pass(int argc, char** argv) {
     json.begin_object();
     json.field("schema", "sdsched-bench-v1");
     json.field("bench", "micro_scheduler_sd_pass");
+    json.field("detlint_version", detlint::kVersion);
+    json.field("detlint_ruleset_hash", detlint::ruleset_hash());
     json.key("context");
     json.begin_object();
     json.field("selects", selects);

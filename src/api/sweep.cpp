@@ -32,6 +32,9 @@ std::size_t SweepRunner::effective_jobs(std::size_t cells) const noexcept {
 }
 
 std::vector<SweepResult> SweepRunner::run(const std::vector<SweepCell>& cells) const {
+  // Determinism audit (detlint D1): insert-only duplicate detector — never
+  // iterated, and cell order (the visible order of results) comes from the
+  // caller's vector, so hash order cannot leak into output.
   std::unordered_set<std::string> names;
   for (const auto& cell : cells) {
     if (cell.name.empty()) {

@@ -19,6 +19,9 @@ bool node_satisfies(const NodeAttributes& attributes,
   return true;
 }
 
+// An index that subscribes after construction seeds itself from a full scan,
+// so the unnotified free_nodes_ seeding below cannot strand a subscriber.
+// detlint: mutator-ok(construction precedes any observer attachment)
 Machine::Machine(MachineConfig config)
     : config_(std::move(config)), energy_(config_.energy, config_.nodes) {
   assert(config_.nodes > 0);
@@ -26,6 +29,9 @@ Machine::Machine(MachineConfig config)
   // (O(nodes + overrides), not O(nodes x overrides) — at 5040 nodes a long
   // override list made construction quadratic). insert_or_assign keeps the
   // historical last-entry-wins semantics for duplicate node ids.
+  // Determinism audit (detlint D1): this unordered_map is lookup-only —
+  // `find` below, never iterated — so its order can't leak into node
+  // attribute assignment; the loop itself runs in ascending node id.
   std::unordered_map<int, const NodeAttributes*> overrides;
   overrides.reserve(config_.attribute_overrides.size());
   for (const auto& [id, override_attrs] : config_.attribute_overrides) {
@@ -102,6 +108,7 @@ void Machine::commit(SimTime span, int cpu_delta, int node_delta) {
   energy_.observe(last_touch_, busy_cores_, occupied_nodes());
 }
 
+// detlint: mutator-ok(notify-path helper; every caller notifies after syncing)
 void Machine::sync_free_state(int node_id) {
   if (nodes_[node_id].empty()) {
     free_nodes_.insert(node_id);

@@ -48,6 +48,9 @@ class RuntimePredictor {
 
   double smoothing_;
   std::size_t min_history_;
+  // Determinism audit (detlint D1): keyed lookup only (find in
+  // trusted_model, operator[] on observe) — never iterated, so per-user
+  // prediction is a pure function of that user's observation sequence.
   std::unordered_map<int, UserModel> users_;
   UserModel global_;
   std::uint64_t observations_ = 0;

@@ -63,6 +63,9 @@ class EventQueue {
   void drop_dead() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Determinism audit (detlint D1): membership-only — handles are tested
+  // with find/contains and erased individually; the set is never iterated,
+  // so hash order cannot reach the event schedule.
   mutable std::unordered_set<EventHandle> cancelled_;
   std::uint64_t next_handle_ = 1;
   std::uint64_t next_seq_ = 0;

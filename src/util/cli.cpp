@@ -35,6 +35,8 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
 
 std::optional<std::string> CliArgs::get(const std::string& name) const {
   if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  // Single-threaded CLI startup; no setenv anywhere in the tree.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv(env_name(name).c_str()); env != nullptr) {
     return std::string(env);
   }

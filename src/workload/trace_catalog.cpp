@@ -146,6 +146,8 @@ Workload synthesize_like(const TraceInfo& info, double scale, std::uint64_t seed
 std::string default_fixture_path(const TraceInfo& info, const std::string& dir) {
   std::string resolved = dir;
   if (resolved.empty()) {
+    // Read once while resolving fixture paths; no setenv anywhere in the tree.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("SDSCHED_TRACE_DIR"); env != nullptr && *env != '\0') {
       resolved = env;
     } else {

@@ -1,8 +1,8 @@
 #include "workload/workload_stats.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
-#include <unordered_map>
 
 #include "util/stats.h"
 #include "util/time_utils.h"
@@ -26,8 +26,10 @@ WorkloadStats characterize(const Workload& workload) {
   SimTime first = workload.jobs().front().submit;
   SimTime last = first;
   std::size_t malleable = 0;
-  std::unordered_map<SimTime, std::size_t> submit_groups;
-  submit_groups.reserve(workload.size());
+  // Ordered map: the burst aggregates below are order-independent sums, but
+  // iterating a hash map here was the one unordered iteration in src/ — an
+  // std::map keeps the loop deterministic by construction (detlint D1).
+  std::map<SimTime, std::size_t> submit_groups;
   for (const auto& spec : workload.jobs()) {
     runtime_stats.add(static_cast<double>(spec.base_runtime));
     runtimes.push_back(static_cast<double>(spec.base_runtime));

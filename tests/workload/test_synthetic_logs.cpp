@@ -82,6 +82,33 @@ TEST(SyntheticLogs, RequestedTimesOverestimate) {
   EXPECT_LT(accuracy_sum / static_cast<double>(w.size()), 0.7);
 }
 
+TEST(WorkloadStats, SubmitBurstStatsArePinned) {
+  // Regression for the detlint D1 audit: submit_groups used to be an
+  // unordered_map iterated for the burst aggregates. The sums are
+  // order-independent, so this pins the exact values a hand-built trace
+  // must produce — any container or iteration change that alters them is
+  // a real behavior change, not an order artifact.
+  std::vector<JobSpec> jobs;
+  const SimTime submits[] = {100, 100, 100, 250, 400, 400, 500};
+  JobId id = 0;
+  for (const SimTime t : submits) {
+    JobSpec spec;
+    spec.id = id++;
+    spec.submit = t;
+    spec.base_runtime = 60;
+    spec.req_time = 120;
+    spec.req_cpus = 8;
+    spec.req_nodes = 1;
+    jobs.push_back(spec);
+  }
+  const Workload w{WorkloadInfo{"burst-pin", 4, 8}, std::move(jobs)};
+  const WorkloadStats stats = characterize(w);
+  EXPECT_EQ(stats.distinct_submit_times, 4u);  // {100, 250, 400, 500}
+  EXPECT_EQ(stats.same_time_submits, 5u);      // 3 at t=100 + 2 at t=400
+  EXPECT_EQ(stats.max_submit_burst, 3u);       // the t=100 group
+  EXPECT_EQ(stats.submit_span, 400);           // 500 - 100
+}
+
 TEST(WorkloadStats, CharacterizeReportsExtremes) {
   CurieConfig config;
   config.scale = 0.01;

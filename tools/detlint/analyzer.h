@@ -1,0 +1,59 @@
+// The detlint analyzer: applies the determinism-contract rules (see
+// include/detlint/ruleset.h and docs/determinism.md) to lexed C++ sources.
+//
+// Analysis is two-phase across the whole file set: phase 1 indexes every
+// declaration of an unordered container (locals, members, `using` aliases)
+// from *all* files, phase 2 flags rule violations per file — so a member
+// declared in a header is recognized when its .cpp iterates it. The indexer
+// is deliberately conservative: two members sharing a name are both treated
+// as unordered if either is, which can only demand an extra waiver, never
+// hide a violation.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detlint/ruleset.h"
+
+namespace detlint {
+
+struct Finding {
+  std::string file;   ///< display path (as passed on the command line)
+  int line = 0;       ///< 1-based line the finding anchors to
+  std::string rule;   ///< "D1".."D4", or "WAIVER" for waiver-syntax problems
+  std::string message;
+  bool waived = false;
+  std::string waiver_reason;  ///< set when waived
+};
+
+struct SourceFile {
+  std::string display_path;  ///< for messages
+  std::string rel_path;      ///< relative to src/, '/'-separated — rule scoping
+  std::string content;
+};
+
+/// Analyze the given sources as one program. Findings come back grouped by
+/// file in input order, line-ascending within a file.
+[[nodiscard]] std::vector<Finding> analyze(const std::vector<SourceFile>& files);
+
+/// Load every *.h/*.hpp/*.cpp/*.cc under `src_root` (sorted path order, so
+/// results are deterministic) and analyze them. `rel_path` is each file's
+/// path relative to `src_root`; `display_prefix` (e.g. "src/") is prepended
+/// for messages. Throws std::runtime_error on IO failure.
+[[nodiscard]] std::vector<Finding> analyze_tree(
+    const std::filesystem::path& src_root, std::string_view display_prefix);
+
+/// True if `rule` applies to a file at `rel_path` (scope prefixes from the
+/// ruleset table; empty scope = everywhere).
+[[nodiscard]] bool rule_applies(const RuleInfo& rule, std::string_view rel_path);
+
+[[nodiscard]] inline bool has_unwaived(const std::vector<Finding>& findings) {
+  for (const auto& f : findings) {
+    if (!f.waived) return true;
+  }
+  return false;
+}
+
+}  // namespace detlint

@@ -1,0 +1,37 @@
+// Fixture: D1 negatives — unordered containers used for lookup/membership
+// only (no iteration), plus ordered-container iteration, in decision-path
+// code. detlint must report nothing here. Analyzed under the fake path
+// "core/d1_negative.cpp"; never compiled.
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+int lookup_only(int key) {
+  std::unordered_map<int, int> cache;
+  const auto it = cache.find(key);  // lookup: fine
+  return it != cache.end() ? it->second : 0;
+}
+
+bool membership_only(int id) {
+  std::unordered_set<int> seen;
+  seen.insert(id);   // mutation without iteration: fine
+  seen.erase(id + 1);
+  return seen.count(id) > 0;
+}
+
+int ordered_iteration() {
+  std::map<int, int> ordered;
+  std::set<int> keys;
+  std::vector<int> items;
+  int sum = 0;
+  for (const auto& [k, v] : ordered) sum += k + v;  // std::map: fine
+  for (const int k : keys) sum += k;                // std::set: fine
+  for (auto it = items.begin(); it != items.end(); ++it) sum += *it;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Fixture: D1 positives — iteration over unordered containers in
+// decision-path code. Analyzed under the fake path "core/d1_positive.cpp";
+// never compiled.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int range_for_over_member() {
+  std::unordered_map<int, int> weights;
+  int sum = 0;
+  for (const auto& [id, w] : weights) {  // finding: range-for
+    sum += id + w;
+  }
+  return sum;
+}
+
+int explicit_iterators() {
+  std::unordered_set<int> ids;
+  int sum = 0;
+  for (auto it = ids.begin(); it != ids.end(); ++it) {  // finding: .begin()
+    sum += *it;
+  }
+  return sum;
+}
+
+int free_begin() {
+  std::unordered_map<int, int> table;
+  auto it = std::begin(table);  // finding: free begin()
+  return it == table.end() ? 0 : it->second;
+}
+
+using ScoreMap = std::unordered_map<int, double>;
+
+double alias_iteration(const ScoreMap& scores) {
+  double total = 0.0;
+  for (const auto& [id, score] : scores) {  // finding: alias of unordered_map
+    total += score * id;
+  }
+  return total;
+}
+
+}  // namespace fixture

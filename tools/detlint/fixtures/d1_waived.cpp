@@ -1,0 +1,42 @@
+// Fixture: D1 waivers — the same iteration shapes as d1_positive.cpp, each
+// carrying an ordered-ok waiver: same-line, the line above a statement, and
+// inside a statement spanning several lines. detlint must report every site
+// as waived (exit 0). Analyzed under the fake path "core/d1_waived.cpp";
+// never compiled. (Prose here must not spell the waiver marker verbatim —
+// the scanner would parse it and flag it as stale.)
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int same_line_waiver() {
+  std::unordered_map<int, int> weights;
+  int sum = 0;
+  for (const auto& [id, w] : weights) {  // detlint: ordered-ok(order-independent sum)
+    sum += id + w;
+  }
+  return sum;
+}
+
+int line_above_waiver() {
+  std::unordered_set<int> ids;
+  int count = 0;
+  // detlint: ordered-ok(counting only, order cannot leak into decisions)
+  for (auto it = ids.begin(); it != ids.end(); ++it) {
+    ++count;
+  }
+  return count;
+}
+
+int multi_line_statement_waiver(bool flag) {
+  std::unordered_map<int, int> table;
+  int sum = 0;
+  for (const auto& [key,
+                    value] :             // detlint: ordered-ok(multi-line header)
+       table) {
+    sum += flag ? key : value;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: D2 negatives — the deterministic counterparts the contract
+// permits: seeded engines, monotonic steady_clock for wall-clock
+// *measurement* (never decisions), and identifiers that merely contain a
+// banned word. Analyzed under the fake path "util/d2_negative.cpp"; never
+// compiled.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+// Seeded xoshiro-style engine: the contract's sanctioned randomness.
+struct SeededRng {
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+std::uint64_t seeded_draw(std::uint64_t seed) {
+  SeededRng rng{seed};
+  return rng.next();
+}
+
+double measure_wall_seconds() {
+  // steady_clock is monotonic and feeds measurement only — allowed.
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Identifiers containing banned words are not calls/types — no findings.
+int operand_names() {
+  int randomize_me = 3;     // not `rand`
+  int system_clock_skew = 4;  // bare identifier, not followed by `(`
+  return randomize_me + system_clock_skew;
+}
+
+}  // namespace fixture

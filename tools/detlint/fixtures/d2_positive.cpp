@@ -1,0 +1,37 @@
+// Fixture: D2 positives — nondeterminism sources anywhere in src/ (the rule
+// is not limited to decision-path directories). Analyzed under the fake path
+// "util/d2_positive.cpp"; never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int c_library_rand() {
+  std::srand(42);      // finding: srand call
+  return std::rand();  // finding: rand call
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // finding: random_device
+  return rd();
+}
+
+long long wall_clock_read() {
+  const auto now = std::chrono::system_clock::now();  // finding: system_clock
+  return now.time_since_epoch().count();
+}
+
+double hi_res_clock() {
+  // high_resolution_clock is an alias of system_clock on common platforms.
+  const auto t = std::chrono::high_resolution_clock::now();  // finding
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+char* locale_dependent(const std::time_t* t) {
+  std::setlocale(LC_ALL, "");  // finding: setlocale call
+  return std::ctime(t);        // finding: ctime call
+}
+
+}  // namespace fixture

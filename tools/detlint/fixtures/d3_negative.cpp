@@ -1,0 +1,32 @@
+// Fixture: D3 negatives — the virtual-dispatch seam that replaced RTTI
+// (PR 2's `annotate()` pattern), plus static_cast, which the rule does not
+// ban. Analyzed under the fake path "sched/d3_negative.cpp"; never compiled.
+namespace fixture {
+
+struct Report {
+  int reserved_jobs = 0;
+};
+
+struct Scheduler {
+  virtual ~Scheduler() = default;
+  // The sanctioned seam: subclasses export their own stats; callers never
+  // interrogate the concrete type.
+  virtual void annotate(Report& report) const { (void)report; }
+};
+
+struct BackfillScheduler : Scheduler {
+  int reserved = 0;
+  void annotate(Report& report) const override { report.reserved_jobs = reserved; }
+};
+
+int sanctioned_dispatch(const Scheduler& s) {
+  Report report;
+  s.annotate(report);
+  return report.reserved_jobs;
+}
+
+double arithmetic_cast(int x) {
+  return static_cast<double>(x);  // static_cast: fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: D3 positives — RTTI in decision-path code (re-pinning the PR 2
+// `annotate()` fix that removed the last scheduler dynamic_cast). Analyzed
+// under the fake path "sched/d3_positive.cpp"; never compiled.
+#include <typeinfo>
+
+namespace fixture {
+
+struct Scheduler {
+  virtual ~Scheduler() = default;
+};
+struct BackfillScheduler : Scheduler {
+  int reserved = 0;
+};
+
+int downcast_probe(Scheduler* s) {
+  // finding: dynamic_cast in decision-path code
+  if (auto* backfill = dynamic_cast<BackfillScheduler*>(s)) {
+    return backfill->reserved;
+  }
+  return 0;
+}
+
+bool type_probe(const Scheduler& a, const Scheduler& b) {
+  return typeid(a) == typeid(b);  // findings: typeid (twice)
+}
+
+}  // namespace fixture

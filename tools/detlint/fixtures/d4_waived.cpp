@@ -1,0 +1,32 @@
+// Fixture: D4 waivers — mutators that legitimately cannot notify carry a
+// mutator-ok waiver on the function header (or the line above it). Mirrors
+// the real machine.cpp waivers (constructor and sync_free_state). Analyzed
+// under the fake path "cluster/machine.cpp"; never compiled. (Prose must
+// not spell the waiver marker verbatim — it would scan as a stale waiver.)
+#include <set>
+
+namespace fixture {
+
+class Machine {
+ public:
+  // detlint: mutator-ok(construction precedes any observer attachment)
+  explicit Machine(int nodes) {
+    for (int i = 0; i < nodes; ++i) free_nodes_.insert(i);
+  }
+
+  void release(int node_id) {
+    sync_free_state(node_id);
+    notify(node_id);
+  }
+
+ private:
+  void sync_free_state(int node_id) {  // detlint: mutator-ok(callers notify)
+    free_nodes_.insert(node_id);
+  }
+
+  void notify(int node_id) { (void)node_id; }
+
+  std::set<int> free_nodes_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,180 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace detlint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character punctuation detlint must not split: `->` (member access —
+// splitting it would leave a stray `>` that breaks template balancing),
+// `::` (qualified names), compound assignment (D4 classifies `busy_cores_ +=`
+// as a mutation), increment/decrement, and the comparisons that embed `<`/`>`
+// so those never masquerade as template brackets. `<<` and `>>` are
+// deliberately absent: lexing them as two tokens keeps
+// `unordered_map<int, std::vector<int>>` balanced, and nothing detlint checks
+// cares about shift operators.
+constexpr const char* kPunct3[] = {"->*", "<=>", "..."};
+constexpr const char* kPunct2[] = {"->", "::", "+=", "-=", "*=", "/=", "%=",
+                                   "|=", "&=", "^=", "==", "!=", "<=", ">=",
+                                   "&&", "||", "++", "--", ".*"};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  bool in_directive = false;
+
+  auto push = [&](TokKind kind, std::string text, int at_line,
+                  bool block = false) {
+    out.push_back(Token{kind, std::move(text), at_line, in_directive, block});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      // A directive ends at an unescaped newline.
+      if (in_directive) {
+        std::size_t back = i;
+        bool continued = false;
+        while (back > 0 && (src[back - 1] == '\r')) --back;
+        if (back > 0 && src[back - 1] == '\\') continued = true;
+        if (!continued) in_directive = false;
+      }
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first non-space on the line.
+    if (c == '#' && !in_directive) {
+      in_directive = true;
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = src.size();
+      push(TokKind::Comment, std::string(src.substr(i + 2, end - i - 2)), line);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < src.size() && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t end = (j + 1 < src.size()) ? j : src.size();
+      push(TokKind::Comment, std::string(src.substr(i + 2, end - i - 2)),
+           start_line, /*block=*/true);
+      i = (j + 1 < src.size()) ? j + 2 : src.size();
+      continue;
+    }
+
+    // Raw string literal: R"tag( ... )tag".
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      std::size_t tag_end = src.find('(', i + 2);
+      if (tag_end != std::string_view::npos) {
+        const std::string tag(src.substr(i + 2, tag_end - i - 2));
+        const std::string closer = ")" + tag + "\"";
+        std::size_t end = src.find(closer, tag_end + 1);
+        if (end == std::string_view::npos) end = src.size();
+        const int start_line = line;
+        for (std::size_t j = i; j < end && j < src.size(); ++j) {
+          if (src[j] == '\n') ++line;
+        }
+        push(TokKind::String,
+             std::string(src.substr(tag_end + 1, end - tag_end - 1)),
+             start_line);
+        i = (end == src.size()) ? end : end + closer.size();
+        continue;
+      }
+    }
+
+    // String / char literals with escapes.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < src.size()) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      push(quote == '"' ? TokKind::String : TokKind::CharLit,
+           std::string(src.substr(i + 1, j - i - 1)), start_line);
+      i = (j < src.size()) ? j + 1 : j;
+      continue;
+    }
+
+    // Identifiers and keywords.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      push(TokKind::Identifier, std::string(src.substr(i, j - i)), line);
+      i = j;
+      continue;
+    }
+
+    // Numbers (loose: consume digits, letters, dots, digit separators and
+    // exponent signs — detlint never looks inside one).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < src.size() &&
+             (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+              ((src[j] == '+' || src[j] == '-') &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                src[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokKind::Number, std::string(src.substr(i, j - i)), line);
+      i = j;
+      continue;
+    }
+
+    // Punctuation: longest match from the fixed tables, else one char.
+    bool matched = false;
+    for (const char* p : kPunct3) {
+      if (src.substr(i, 3) == p) {
+        push(TokKind::Punct, p, line);
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPunct2) {
+      if (src.substr(i, 2) == p) {
+        push(TokKind::Punct, p, line);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(TokKind::Punct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,50 @@
+// A small C++ lexer for detlint: identifiers, literals, comments and
+// punctuation with line numbers, plus a flag marking tokens that belong to a
+// preprocessor directive (so `#include <unordered_map>` is never mistaken
+// for a declaration). This is deliberately not a full C++ front end — the
+// determinism rules are token-shape rules, and a dependency-free lexer keeps
+// the tool buildable everywhere the simulator builds (no libclang).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlint {
+
+enum class TokKind {
+  Identifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  Number,      ///< numeric literal (loosely lexed; detlint never inspects one)
+  String,      ///< "..." or R"tag(...)tag" (text excludes quotes)
+  CharLit,     ///< '...'
+  Punct,       ///< operator / punctuation (see lexer.cpp for multi-char set)
+  Comment,     ///< // or /* */ (text excludes the comment markers)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;             ///< 1-based line of the token's first character
+  bool in_directive = false;  ///< inside a preprocessor directive line
+  bool block_comment = false; ///< Comment kind: true for /* */, false for //
+};
+
+/// Tokenize `source`. Never throws on malformed input: an unterminated
+/// literal or comment is lexed to end-of-file, which is the useful behaviour
+/// for a linter (the compiler will reject the file anyway).
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+/// The `>` / `<` tokens are always lexed as single characters (never `>>` /
+/// `<<`) so template-argument balancing by token counting works on
+/// `unordered_map<int, std::vector<int>>`. `->`, `::` and the compound
+/// assignment operators are kept as single tokens. This helper answers
+/// "is this token exactly this punctuation".
+[[nodiscard]] inline bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::Punct && tok.text == text;
+}
+
+[[nodiscard]] inline bool is_ident(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::Identifier && tok.text == text;
+}
+
+}  // namespace detlint

@@ -1,0 +1,192 @@
+// detlint — the sdsched determinism-contract linter.
+//
+// Usage:
+//   detlint [--src-root <dir>] [--json <path>] [--hash] [--list-rules] <path>...
+//
+// Each <path> is a file or a directory (scanned recursively for C++
+// sources). Rule scoping needs paths *relative to src/*: a directory
+// argument is its own scoping root (`detlint src` is the canonical
+// invocation); for individual files pass --src-root so e.g.
+// `detlint --src-root src src/cluster/machine.cpp` scopes correctly.
+// Exit status: 0 when every finding is waived (or there are none), 1 on
+// unwaived findings, 2 on usage/IO errors. --json writes a
+// `detlint-findings-v1` document for CI artifacts.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+#include "detlint/ruleset.h"
+
+namespace {
+
+void json_escape_into(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void write_json(const std::string& path,
+                const std::vector<detlint::Finding>& findings,
+                std::size_t waived, std::size_t unwaived) {
+  std::string out;
+  out += "{\n  \"schema\": \"detlint-findings-v1\",\n";
+  out += "  \"detlint_version\": \"";
+  out += detlint::kVersion;
+  out += "\",\n  \"ruleset_hash\": \"";
+  out += detlint::ruleset_hash();
+  out += "\",\n  \"waived\": " + std::to_string(waived);
+  out += ",\n  \"unwaived\": " + std::to_string(unwaived);
+  out += ",\n  \"findings\": [";
+  bool first = true;
+  for (const auto& f : findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"file\": \"";
+    json_escape_into(out, f.file);
+    out += "\", \"line\": " + std::to_string(f.line);
+    out += ", \"rule\": \"" + f.rule + "\"";
+    out += ", \"waived\": ";
+    out += f.waived ? "true" : "false";
+    out += ", \"message\": \"";
+    json_escape_into(out, f.message);
+    out += "\"";
+    if (f.waived) {
+      out += ", \"reason\": \"";
+      json_escape_into(out, f.waiver_reason);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+  if (!stream) {
+    std::fprintf(stderr, "detlint: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  stream.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: detlint [--src-root <dir>] [--json <path>] [--hash]\n"
+      "               [--list-rules] <file-or-dir>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::string src_root;
+  std::string json_path;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--hash") {
+      std::printf("%s\n", detlint::ruleset_hash().c_str());
+      return 0;
+    }
+    if (arg == "--version") {
+      std::printf("detlint %s (ruleset %s)\n", detlint::kVersion,
+                  detlint::ruleset_hash().c_str());
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& rule : detlint::kRules) {
+        std::printf("%s  %-30s waiver: // detlint: %s(<reason>)  scope: %s\n",
+                    rule.id, rule.name, rule.waiver,
+                    rule.scope[0] == '\0' ? "src/**" : rule.scope);
+      }
+      return 0;
+    }
+    if (arg == "--src-root") {
+      if (++i >= argc) return usage();
+      src_root = argv[i];
+      continue;
+    }
+    if (arg == "--json") {
+      if (++i >= argc) return usage();
+      json_path = argv[i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) return usage();
+    inputs.push_back(arg);
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<detlint::SourceFile> files;
+  std::vector<detlint::Finding> findings;
+  try {
+    for (const auto& input : inputs) {
+      const fs::path path(input);
+      if (fs::is_directory(path)) {
+        // A directory is its own scoping root: `detlint src` sees
+        // cluster/machine.cpp etc. relative to src/, exactly what the rule
+        // table's scope prefixes expect.
+        auto tree = detlint::analyze_tree(path, input + "/");
+        findings.insert(findings.end(), tree.begin(), tree.end());
+      } else {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          std::fprintf(stderr, "detlint: cannot read %s\n", input.c_str());
+          return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string rel = input;
+        if (!src_root.empty()) {
+          rel = fs::relative(path, fs::path(src_root)).generic_string();
+        }
+        files.push_back(detlint::SourceFile{input, rel, buf.str()});
+      }
+    }
+    if (!files.empty()) {
+      auto extra = detlint::analyze(files);
+      findings.insert(findings.end(), extra.begin(), extra.end());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detlint: %s\n", e.what());
+    return 2;
+  }
+
+  std::size_t waived = 0;
+  std::size_t unwaived = 0;
+  for (const auto& f : findings) {
+    if (f.waived) {
+      ++waived;
+      std::printf("%s:%d: [%s] waived: %s (reason: %s)\n", f.file.c_str(),
+                  f.line, f.rule.c_str(), f.message.c_str(),
+                  f.waiver_reason.c_str());
+    } else {
+      ++unwaived;
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+  }
+  std::printf("detlint %s (ruleset %s): %zu finding(s), %zu waived, "
+              "%zu unwaived\n",
+              detlint::kVersion, detlint::ruleset_hash().c_str(),
+              waived + unwaived, waived, unwaived);
+  if (!json_path.empty()) write_json(json_path, findings, waived, unwaived);
+  return unwaived == 0 ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+#include "lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace detlint {
+namespace {
+
+std::vector<Token> lex_no_comments(std::string_view src) {
+  std::vector<Token> out;
+  for (auto& tok : lex(src)) {
+    if (tok.kind != TokKind::Comment) out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+TEST(DetlintLexer, IdentifiersNumbersAndLines) {
+  const auto toks = lex("int x = 42;\nfoo_bar baz2;\n");
+  ASSERT_EQ(toks.size(), 8u);
+  EXPECT_TRUE(is_ident(toks[0], "int"));
+  EXPECT_TRUE(is_ident(toks[1], "x"));
+  EXPECT_TRUE(is_punct(toks[2], "="));
+  EXPECT_EQ(toks[3].kind, TokKind::Number);
+  EXPECT_EQ(toks[3].text, "42");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_TRUE(is_ident(toks[5], "foo_bar"));
+  EXPECT_EQ(toks[5].line, 2);
+  EXPECT_TRUE(is_ident(toks[6], "baz2"));
+}
+
+TEST(DetlintLexer, MultiCharPunctuationKeptWhole) {
+  const auto toks = lex("a->b; c::d; e += f; g <= h; i <=> j;");
+  EXPECT_TRUE(is_punct(toks[1], "->"));
+  EXPECT_TRUE(is_punct(toks[5], "::"));
+  EXPECT_TRUE(is_punct(toks[9], "+="));
+  EXPECT_TRUE(is_punct(toks[13], "<="));
+  EXPECT_TRUE(is_punct(toks[17], "<=>"));
+}
+
+TEST(DetlintLexer, AngleBracketsAlwaysSingleForTemplateBalancing) {
+  // `>>` must lex as two `>` so map<int, vector<int>> balances by counting.
+  const auto toks = lex("map<int, vector<int>> m; a >> b;");
+  int opens = 0;
+  int closes = 0;
+  for (const auto& tok : toks) {
+    if (is_punct(tok, "<")) ++opens;
+    if (is_punct(tok, ">")) ++closes;
+  }
+  EXPECT_EQ(opens, 2);
+  EXPECT_EQ(closes, 4);  // two template closers + the two halves of >>
+}
+
+TEST(DetlintLexer, LineAndBlockComments) {
+  const auto toks = lex("x; // trailing note\n/* block\nspanning */ y;\n");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[2].kind, TokKind::Comment);
+  EXPECT_EQ(toks[2].text, " trailing note");
+  EXPECT_FALSE(toks[2].block_comment);
+  EXPECT_EQ(toks[3].kind, TokKind::Comment);
+  EXPECT_TRUE(toks[3].block_comment);
+  EXPECT_EQ(toks[3].line, 2);
+  EXPECT_TRUE(is_ident(toks[4], "y"));
+  EXPECT_EQ(toks[4].line, 3);
+}
+
+TEST(DetlintLexer, StringAndCharLiteralsAreOpaque) {
+  // Banned words inside literals must not surface as identifier tokens.
+  const auto toks = lex_no_comments(
+      "const char* s = \"rand() and unordered_map\"; char c = '\\n';");
+  for (const auto& tok : toks) {
+    if (tok.kind == TokKind::Identifier) {
+      EXPECT_NE(tok.text, "rand");
+      EXPECT_NE(tok.text, "unordered_map");
+    }
+  }
+  EXPECT_EQ(toks[5].kind, TokKind::String);
+  EXPECT_EQ(toks[5].text, "rand() and unordered_map");
+}
+
+TEST(DetlintLexer, RawStringsAreOpaque) {
+  const auto toks =
+      lex_no_comments("auto s = R\"x(dynamic_cast<int>(y) \" quote)x\"; z;");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[3].kind, TokKind::String);
+  EXPECT_NE(toks[3].text.find("dynamic_cast"), std::string::npos);
+  EXPECT_TRUE(is_ident(toks[5], "z"));
+}
+
+TEST(DetlintLexer, DirectiveTokensAreMarked) {
+  const auto toks = lex("#include <unordered_map>\nint unordered_map_user;\n");
+  bool saw_directive_token = false;
+  for (const auto& tok : toks) {
+    if (is_ident(tok, "unordered_map")) {
+      EXPECT_TRUE(tok.in_directive);
+      saw_directive_token = true;
+    }
+    if (is_ident(tok, "unordered_map_user")) {
+      EXPECT_FALSE(tok.in_directive);
+    }
+  }
+  EXPECT_TRUE(saw_directive_token);
+}
+
+TEST(DetlintLexer, UnterminatedConstructsDoNotLoopForever) {
+  EXPECT_NO_FATAL_FAILURE({ (void)lex("/* never closed"); });
+  EXPECT_NO_FATAL_FAILURE({ (void)lex("\"never closed"); });
+  EXPECT_NO_FATAL_FAILURE({ (void)lex("R\"tag(never closed"); });
+}
+
+}  // namespace
+}  // namespace detlint
