@@ -18,6 +18,7 @@
 // Values also come from SDSCHED_* environment variables (see util/cli.h).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,7 @@
 #include "detlint/ruleset.h"
 #include "util/cli.h"
 #include "util/json.h"
+#include "util/rss.h"
 #include "util/table.h"
 
 namespace sdsched::bench {
@@ -43,6 +45,9 @@ struct BenchContext {
   int seed_reps = 1;          ///< grid replications across derived seeds
   std::string json_path;      ///< "" = no JSON output
   bool check_serial = false;  ///< verify parallel == serial per cell
+  /// Process phase anchor: everything between construction and the sweep is
+  /// the `generate` phase of the JSON `phase_seconds` breakdown.
+  std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
 
   static BenchContext from_args(int argc, const char* const* argv) {
     const CliArgs args(argc, argv);
@@ -127,7 +132,8 @@ struct SweepRow {
 
 struct SweepExecution {
   std::vector<SweepResult> results;
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0;      ///< the sweep itself (`simulate` phase)
+  double generate_seconds = 0.0;  ///< context construction -> sweep start
 };
 
 /// Execute `cells` with the context's --jobs setting; print a one-line
@@ -137,6 +143,7 @@ inline SweepExecution run_cells(const std::vector<SweepCell>& cells, const Bench
   SweepExecution exec;
   const SweepRunner runner(ctx.jobs);
   const auto start = std::chrono::steady_clock::now();
+  exec.generate_seconds = std::chrono::duration<double>(start - ctx.started).count();
   exec.results = runner.run(cells);
   exec.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -275,6 +282,23 @@ inline void write_bench_json(const std::string& path, const char* bench_id,
   json.field("jobs", ctx.jobs);
   json.end_object();
   json.field("wall_seconds", exec.wall_seconds);
+  // Phase breakdown + footprint (docs/bench-format.md): `report` is
+  // everything after the sweep — table printing, normalization, and, under
+  // --check-serial, the serial verification re-run.
+  {
+    const double total =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - ctx.started)
+            .count();
+    const double report_seconds =
+        std::max(0.0, total - exec.generate_seconds - exec.wall_seconds);
+    json.key("phase_seconds");
+    json.begin_object();
+    json.field("generate", exec.generate_seconds);
+    json.field("simulate", exec.wall_seconds);
+    json.field("report", report_seconds);
+    json.end_object();
+    json.field("peak_rss_bytes", peak_rss_bytes());
+  }
   json.key("cells");
   json.begin_array();
   for (const auto& result : exec.results) {

@@ -8,13 +8,20 @@
 // across machine sizes, for the event-driven index (steady and churning
 // clusters) against the historical full-scan rebuild.
 //
-// A third mode, `--sd-pass` (with optional `--json=<path>` and
-// `--selects=<n>`), runs the SD hot-path study: mate-selection p50/p95
-// latency plus candidates-scanned / combinations-evaluated counters across
-// machine sizes, for the incrementally maintained MateRegistry against the
-// historical whole-job-table scan (plans are asserted identical). Both
-// JSON documents land in the same `sdsched-bench-v1` family the figure
-// benches emit; CI's bench-smoke job uploads them next to bench.json.
+// A third mode, `--sd-pass` (with optional `--json=<path>`, `--selects=<n>`,
+// `--picks=<n>`, `--flips=<n>`, `--max-freepick-p95-ns=<n>`), runs the SD
+// hot-path study: mate-selection p50/p95 latency plus candidates-scanned /
+// combinations-evaluated counters across machine sizes, for the
+// incrementally maintained MateRegistry against the historical
+// whole-job-table scan (plans are asserted identical) — plus the free-pick
+// study, a 256→1024→5040→50K node-count sweep reporting free-node pick
+// p50/p95 and flip throughput for the bitmap FreeNodeIndex against the
+// deprecated run index and the raw machine scan (picks are asserted
+// byte-identical across all three tiers). `--max-freepick-p95-ns` is the
+// CI regression guard: nonzero makes the run fail if the bitmap pick p95
+// at the largest machine exceeds the budget. Both JSON documents land in
+// the same `sdsched-bench-v1` family the figure benches emit; CI's
+// bench-smoke job uploads them next to bench.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -26,6 +33,7 @@
 
 #include "api/simulation.h"
 #include "cluster/cluster_state_index.h"
+#include "cluster/free_node_index.h"
 #include "core/mate_registry.h"
 #include "detlint/ruleset.h"
 #include "core/mate_selector.h"
@@ -35,6 +43,7 @@
 #include "sim/event_queue.h"
 #include "util/cli.h"
 #include "util/json.h"
+#include "util/rss.h"
 #include "util/stats.h"
 #include "workload/cirne.h"
 
@@ -147,6 +156,21 @@ BENCHMARK(BM_WholeSimulation)
     ->Arg(static_cast<int>(PolicyKind::SdPolicy))
     ->Unit(benchmark::kMillisecond);
 
+/// Emit the shared sdsched-bench-v1 footprint tail (docs/bench-format.md):
+/// the per-phase wall-clock breakdown and the peak-RSS probe. Placed last
+/// in the document so `report` covers table rendering plus the document
+/// serialization up to this stamp.
+void write_phase_tail(JsonWriter& json, double generate_seconds, double simulate_seconds,
+                      double report_seconds) {
+  json.key("phase_seconds");
+  json.begin_object();
+  json.field("generate", generate_seconds);
+  json.field("simulate", simulate_seconds);
+  json.field("report", report_seconds);
+  json.end_object();
+  json.field("peak_rss_bytes", peak_rss_bytes());
+}
+
 // ---------------------------------------------------------------------------
 // --pass-metrics: the O(dirty) demonstration.
 // ---------------------------------------------------------------------------
@@ -175,7 +199,8 @@ struct PassStats {
 /// replaces one node's occupant per pass (the dirty case); `use_index`
 /// false runs the historical full-scan rebuild for comparison.
 PassStats run_pass_study(const char* label, int node_count, int passes, bool use_index,
-                         bool churn) {
+                         bool churn, double& generate_seconds) {
+  const auto setup_start = std::chrono::steady_clock::now();
   MachineConfig mc;
   mc.nodes = node_count;
   mc.node = NodeConfig{2, 24};
@@ -217,6 +242,9 @@ PassStats run_pass_study(const char* label, int node_count, int passes, bool use
     const JobId id = jobs.add(spec);
     scheduler.on_submit(id);
   }
+
+  generate_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - setup_start).count();
 
   std::vector<double> latencies_ns;
   latencies_ns.reserve(static_cast<std::size_t>(passes));
@@ -262,14 +290,18 @@ int run_pass_metrics(int argc, char** argv) {
               "p95(ns)", "breakpoints", "reuses", "rebuilds");
 
   const auto start = std::chrono::steady_clock::now();
+  double generate_seconds = 0.0;
   std::vector<PassStats> all;
   for (const int nodes : {256, 1024, 4096}) {
-    all.push_back(run_pass_study("indexed_steady", nodes, passes, true, false));
-    all.push_back(run_pass_study("indexed_churn", nodes, passes, true, true));
-    all.push_back(run_pass_study("fullscan_steady", nodes, passes, false, false));
+    all.push_back(run_pass_study("indexed_steady", nodes, passes, true, false,
+                                 generate_seconds));
+    all.push_back(run_pass_study("indexed_churn", nodes, passes, true, true,
+                                 generate_seconds));
+    all.push_back(run_pass_study("fullscan_steady", nodes, passes, false, false,
+                                 generate_seconds));
   }
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const auto study_end = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(study_end - start).count();
 
   for (const auto& s : all) {
     std::printf("%-18s %8d %10.0f %10.0f %12zu %8llu/%-8llu\n", s.label.c_str(), s.nodes,
@@ -309,6 +341,10 @@ int run_pass_metrics(int argc, char** argv) {
       json.end_object();
     }
     json.end_array();
+    write_phase_tail(json, generate_seconds, wall - generate_seconds,
+                     std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                   study_end)
+                         .count());
     json.end_object();
     write_text_file(json_path, json.str());
     std::printf("(json written to %s)\n", json_path.c_str());
@@ -369,7 +405,9 @@ struct PlanRecord {
 /// MateRegistry + free-run index against the historical full scan.
 SdPassStats run_sd_pass_study(const char* label, int node_count, int selects,
                               bool use_registry, int inert_jobs,
-                              std::vector<PlanRecord>* plans_out) {
+                              std::vector<PlanRecord>* plans_out,
+                              double& generate_seconds) {
+  const auto setup_start = std::chrono::steady_clock::now();
   MachineConfig mc;
   mc.nodes = node_count;
   mc.node = NodeConfig{2, 8};  // Curie-shaped: 16 cores per node
@@ -412,6 +450,9 @@ SdPassStats run_sd_pass_study(const char* label, int node_count, int selects,
     selector.set_cluster_index(&index);
   }
 
+  generate_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - setup_start).count();
+
   std::vector<double> latencies_ns;
   latencies_ns.reserve(static_cast<std::size_t>(selects));
   const MateSelector::SelectStats before = selector.stats();
@@ -440,10 +481,215 @@ SdPassStats run_sd_pass_study(const char* label, int node_count, int selects,
   return stats;
 }
 
+// ---------------------------------------------------------------------------
+// --sd-pass free-pick study: bitmap words vs run index vs machine scan.
+// ---------------------------------------------------------------------------
+
+struct FreePickStats {
+  std::string label;
+  int nodes = 0;
+  int picks = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double flips_per_sec = 0.0;  ///< 0 = flip cost not measured for this tier
+};
+
+/// One machine-size cell, shaped like what SLURM select/linear leaves
+/// behind: the machine fills with 8-node contiguous jobs lowest-first, a
+/// deterministic pseudo-random half of them completes, and the low ids are
+/// a dedicated fixed-size highmem region (fat-node partitions are
+/// contiguous racks of roughly constant size in real clusters — Curie's
+/// fat island — and a striped class would make class-restricted contiguous
+/// requests unsatisfiable by construction).
+/// The resulting free set has the fixed-density block fragmentation real
+/// machines show at ~50% load, so the distance to the first adequate span
+/// depends on the density, not the machine size — the property the 50K
+/// flatness gate (`--max-freepick-p95-ns`) pins down.
+///
+/// The same cycling sequence of pick shapes — count x contiguous x
+/// constrained — is then timed against three tiers: the bitmap
+/// FreeNodeIndex (through the ClusterStateIndex seam schedulers use), the
+/// deprecated LegacyFreeRunIndex, and the raw machine scan. Every pick is
+/// compared across the tiers; a divergence aborts the bench. Flip
+/// throughput (erase+insert pairs) is measured for the two index tiers;
+/// the machine's flips ride inside the allocation path and are not
+/// separable, so its entry reports 0.
+std::vector<FreePickStats> run_free_pick_study(int node_count, int picks, int flips,
+                                               double& generate_seconds) {
+  const auto setup_start = std::chrono::steady_clock::now();
+  constexpr int kBlock = 8;  ///< allocation granularity (8-node jobs)
+  MachineConfig mc;
+  mc.nodes = node_count;
+  mc.node = NodeConfig{2, 8};
+  NodeAttributes highmem;
+  highmem.memory_gb = 384;
+  const int highmem_region = std::min(node_count / 4, 512);
+  for (int id = 0; id < highmem_region; ++id) mc.attribute_overrides.emplace_back(id, highmem);
+  Machine machine(mc);
+  JobRegistry jobs;
+  DromRegistry drom;
+  NodeManager mgr(machine, jobs, drom);
+  ClusterStateIndex index(machine, jobs);
+
+  // The partition the index derives (first-seen order: node 0 is highmem,
+  // so class 0 = highmem, class 1 = default).
+  std::vector<int> node_class(static_cast<std::size_t>(node_count), 1);
+  for (int id = 0; id < highmem_region; ++id) node_class[static_cast<std::size_t>(id)] = 0;
+
+  // Fill every 8-node block lowest-first, then complete a deterministic
+  // pseudo-random half — the churn a steady-state machine has seen.
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto rnd = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const int cores = machine.cores_per_node();
+  std::vector<JobId> block_jobs;
+  for (int first = 0; first + kBlock <= node_count; first += kBlock) {
+    JobSpec spec;
+    spec.req_cpus = kBlock * cores;
+    spec.req_nodes = kBlock;
+    spec.req_time = 1000000;
+    spec.base_runtime = 1000000;
+    const JobId job = jobs.add(spec);
+    jobs.at(job).state = JobState::Running;
+    jobs.at(job).predicted_end = 1000000;
+    std::vector<int> ids(kBlock);
+    for (int i = 0; i < kBlock; ++i) ids[static_cast<std::size_t>(i)] = first + i;
+    mgr.start_static(0, job, ids);
+    block_jobs.push_back(job);
+  }
+  for (const JobId job : block_jobs) {
+    if ((rnd() & 1) == 0) continue;
+    jobs.at(job).state = JobState::Completed;
+    mgr.finish_job(1, job);
+  }
+
+  // Mirror the final occupancy into the comparison tiers (both start with
+  // every node free).
+  LegacyFreeRunIndex legacy(node_class, 2);
+  FreeNodeIndex bitmap_flipper(node_class, 2);  // standalone copy for flip timing
+  for (int id = 0; id < node_count; ++id) {
+    if (machine.node(id).empty()) continue;
+    legacy.erase(id);
+    bitmap_flipper.erase(id);
+  }
+
+  // The pick shapes, cycled in order: unconstrained / contiguous /
+  // highmem-only / highmem-contiguous at 1..64 nodes. Every shape is
+  // satisfiable on this occupancy at realistic scales; where the machine is
+  // too small for one (a 64-node highmem run on the 256-node cell), the
+  // exhaustive failed scan is a latency case too, and nullopt must agree
+  // across the tiers like any other answer.
+  const std::vector<int> all_classes{0, 1};
+  const std::vector<int> highmem_only{0};
+  JobConstraints contig;
+  contig.contiguous = true;
+  JobConstraints high;
+  high.min_memory_gb = 256;
+  JobConstraints high_contig = high;
+  high_contig.contiguous = true;
+  struct Shape {
+    const JobConstraints* constraints;  ///< nullptr = unconstrained
+    const std::vector<int>* classes;    ///< the equivalent eligible-class list
+    bool contiguous;
+    int count;
+  };
+  std::vector<Shape> shapes;
+  for (const int count : {1, 4, 16, 64}) {
+    shapes.push_back(Shape{nullptr, &all_classes, false, count});
+    shapes.push_back(Shape{&contig, &all_classes, true, count});
+    shapes.push_back(Shape{&high, &highmem_only, false, count});
+    shapes.push_back(Shape{&high_contig, &highmem_only, true, count});
+  }
+  generate_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - setup_start).count();
+
+  // Each tier runs the full pick sequence in its own batch: a steady-state
+  // scheduler touches only its own structure between picks, so interleaving
+  // the tiers would charge the bitmap for the cache the machine scan
+  // evicts. Answers are compared across tiers afterwards.
+  using Picked = std::optional<std::vector<int>>;
+  std::vector<Picked> answers[3];
+  std::vector<double> latencies[3];
+  const auto run_tier = [&](int tier, const auto& pick_fn) {
+    answers[tier].reserve(static_cast<std::size_t>(picks));
+    latencies[tier].reserve(static_cast<std::size_t>(picks));
+    for (int p = 0; p < picks; ++p) {
+      const Shape& shape = shapes[static_cast<std::size_t>(p) % shapes.size()];
+      const auto t0 = std::chrono::steady_clock::now();
+      Picked got = pick_fn(shape);
+      const auto t1 = std::chrono::steady_clock::now();
+      latencies[tier].push_back(std::chrono::duration<double, std::nano>(t1 - t0).count());
+      answers[tier].push_back(std::move(got));
+    }
+  };
+  run_tier(0, [&](const Shape& shape) {
+    return index.find_free_nodes(shape.count, shape.constraints);
+  });
+  run_tier(1, [&](const Shape& shape) {
+    return legacy.pick(shape.count, *shape.classes, shape.contiguous);
+  });
+  run_tier(2, [&](const Shape& shape) {
+    return machine.find_free_nodes(shape.count, shape.constraints);
+  });
+  if (answers[0] != answers[1] || answers[0] != answers[2]) {
+    std::fprintf(stderr,
+                 "ERROR: free-pick tiers diverged at %d nodes (bitmap vs run index vs "
+                 "machine scan)\n",
+                 node_count);
+    std::exit(1);
+  }
+
+  // Flip throughput: erase+insert pairs across every free id, repeated
+  // until `flips` single flips have run — net state change zero, so the
+  // timed structure stays parity-comparable afterwards.
+  const auto time_flips = [&](auto& target) {
+    std::vector<int> free_ids;
+    for (int id = 0; id < node_count; ++id) {
+      if (machine.node(id).empty()) free_ids.push_back(id);
+    }
+    int done = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (done < flips) {
+      for (const int id : free_ids) {
+        target.erase(id);
+        target.insert(id);
+        done += 2;
+        if (done >= flips) break;
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0;
+  };
+  const double bitmap_flips = time_flips(bitmap_flipper);
+  const double legacy_flips = time_flips(legacy);
+
+  std::vector<FreePickStats> stats(3);
+  const char* labels[3] = {"bitmap", "run_index", "machine_scan"};
+  const double tier_flips[3] = {bitmap_flips, legacy_flips, 0.0};
+  for (int tier = 0; tier < 3; ++tier) {
+    stats[static_cast<std::size_t>(tier)].label = labels[tier];
+    stats[static_cast<std::size_t>(tier)].nodes = node_count;
+    stats[static_cast<std::size_t>(tier)].picks = picks;
+    stats[static_cast<std::size_t>(tier)].p50_ns = percentile_of(latencies[tier], 0.50);
+    stats[static_cast<std::size_t>(tier)].p95_ns = percentile_of(latencies[tier], 0.95);
+    stats[static_cast<std::size_t>(tier)].flips_per_sec = tier_flips[tier];
+  }
+  return stats;
+}
+
 int run_sd_pass(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const int selects = static_cast<int>(args.get_int("selects", 400));
   const int inert_jobs = static_cast<int>(args.get_int("inert-jobs", 4000));
+  const int picks = static_cast<int>(args.get_int("picks", 400));
+  const int flips = static_cast<int>(args.get_int("flips", 200000));
+  const double freepick_budget_ns =
+      static_cast<double>(args.get_int("max-freepick-p95-ns", 0));
   const std::string json_path = args.get_or("json", "");
 
   std::printf("mate-selection latency (half-full machine of 2-node mates, %d inert jobs)\n",
@@ -452,16 +698,17 @@ int run_sd_pass(int argc, char** argv) {
               "p95(ns)", "scanned/sel", "combos", "plans");
 
   const auto start = std::chrono::steady_clock::now();
+  double generate_seconds = 0.0;
   std::vector<SdPassStats> all;
   for (const int nodes : {256, 1024, 5040}) {
     // Identical decisions are part of the contract: compare every select's
     // whole plan (mates, increases, node assignments) between the paths.
     std::vector<PlanRecord> full_plans;
     std::vector<PlanRecord> reg_plans;
-    all.push_back(
-        run_sd_pass_study("fullscan", nodes, selects, false, inert_jobs, &full_plans));
-    all.push_back(
-        run_sd_pass_study("registry", nodes, selects, true, inert_jobs, &reg_plans));
+    all.push_back(run_sd_pass_study("fullscan", nodes, selects, false, inert_jobs,
+                                    &full_plans, generate_seconds));
+    all.push_back(run_sd_pass_study("registry", nodes, selects, true, inert_jobs,
+                                    &reg_plans, generate_seconds));
     if (full_plans != reg_plans) {
       std::fprintf(stderr,
                    "ERROR: registry-backed selection diverged from the full scan at %d "
@@ -470,8 +717,17 @@ int run_sd_pass(int argc, char** argv) {
       return 1;
     }
   }
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  // The free-pick sweep: one decade past the mate study, up to a 10x-Curie
+  // machine. 50000 is deliberately not a multiple of 64, so the dead-bit
+  // tail of the last bitmap word is exercised at scale on every CI run.
+  std::vector<FreePickStats> free_pick;
+  for (const int nodes : {256, 1024, 5040, 50000}) {
+    const auto cell = run_free_pick_study(nodes, picks, flips, generate_seconds);
+    free_pick.insert(free_pick.end(), cell.begin(), cell.end());
+  }
+  const auto study_end = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(study_end - start).count();
 
   for (const auto& s : all) {
     std::printf("%-10s %8d %10.0f %10.0f %14.1f %10llu %8llu\n", s.label.c_str(), s.nodes,
@@ -481,6 +737,42 @@ int run_sd_pass(int argc, char** argv) {
   }
   std::printf("\nregistry scans only the eligible mates (running malleable non-guests);\n"
               "fullscan is the historical whole-job-table walk. Plans are identical.\n");
+
+  std::printf("\nfree-node pick latency + flip throughput (half-occupied machine)\n");
+  std::printf("%-14s %8s %10s %10s %14s\n", "case", "nodes", "p50(ns)", "p95(ns)",
+              "flips/sec");
+  for (const auto& s : free_pick) {
+    std::printf("%-14s %8d %10.0f %10.0f %14.0f\n", s.label.c_str(), s.nodes, s.p50_ns,
+                s.p95_ns, s.flips_per_sec);
+  }
+  std::printf("\nbitmap is the O(1)-flip word index schedulers use; run_index is the\n"
+              "deprecated PR 5 structure (crosscheck tier); machine_scan is the raw\n"
+              "ordered-set walk (its flips ride inside the allocation path — not\n"
+              "measured). Picks are byte-identical across all three tiers.\n");
+
+  // CI regression guard: the bitmap pick p95 at the largest machine must
+  // stay inside the budget (generous — the point is catching a complexity
+  // regression, not timer noise).
+  if (freepick_budget_ns > 0.0) {
+    const FreePickStats* largest_bitmap = nullptr;
+    for (const auto& s : free_pick) {
+      if (s.label == "bitmap" &&
+          (largest_bitmap == nullptr || s.nodes > largest_bitmap->nodes)) {
+        largest_bitmap = &s;
+      }
+    }
+    if (largest_bitmap != nullptr && largest_bitmap->p95_ns > freepick_budget_ns) {
+      std::fprintf(stderr,
+                   "ERROR: bitmap free-pick p95 at %d nodes is %.0f ns, over the %.0f ns "
+                   "budget\n",
+                   largest_bitmap->nodes, largest_bitmap->p95_ns, freepick_budget_ns);
+      return 1;
+    }
+    if (largest_bitmap != nullptr) {
+      std::printf("\nfree-pick budget: bitmap p95 at %d nodes = %.0f ns <= %.0f ns budget\n",
+                  largest_bitmap->nodes, largest_bitmap->p95_ns, freepick_budget_ns);
+    }
+  }
 
   if (!json_path.empty()) {
     JsonWriter json;
@@ -493,6 +785,9 @@ int run_sd_pass(int argc, char** argv) {
     json.begin_object();
     json.field("selects", selects);
     json.field("inert_jobs", inert_jobs);
+    json.field("picks", picks);
+    json.field("flips", flips);
+    json.field("max_freepick_p95_ns", freepick_budget_ns);
     json.end_object();
     json.field("wall_seconds", wall);
     json.key("sd_pass");
@@ -510,6 +805,23 @@ int run_sd_pass(int argc, char** argv) {
       json.end_object();
     }
     json.end_array();
+    json.key("free_pick");
+    json.begin_array();
+    for (const auto& s : free_pick) {
+      json.begin_object();
+      json.field("case", s.label);
+      json.field("nodes", s.nodes);
+      json.field("picks", s.picks);
+      json.field("p50_ns", s.p50_ns);
+      json.field("p95_ns", s.p95_ns);
+      json.field("flips_per_sec", s.flips_per_sec);
+      json.end_object();
+    }
+    json.end_array();
+    write_phase_tail(json, generate_seconds, wall - generate_seconds,
+                     std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                   study_end)
+                         .count());
     json.end_object();
     write_text_file(json_path, json.str());
     std::printf("(json written to %s)\n", json_path.c_str());

@@ -76,8 +76,8 @@ void ClusterStateIndex::refresh_node(int node_id) {
     ++occupied_nodes_;
     --cls.free;
   }
-  // The free-run structure cares only about emptiness flips, not about a
-  // busy node's release time moving.
+  // The free-node bitmap cares only about emptiness flips, not about a
+  // busy node's release time moving — each flip is O(1) word maintenance.
   const bool was_free = slot == kEmptyNode;
   const bool now_free = free_at == kEmptyNode;
   if (was_free != now_free) {
@@ -238,10 +238,13 @@ bool ClusterStateIndex::check_consistent(std::string* diagnosis) const {
       return fail(oss.str());
     }
   }
+  // Free-node bitmap: bit-level + summary-invariant check, plus (under
+  // SDSCHED_INDEX_CROSSCHECK) the legacy run shadow — the three-way
+  // bitmap-vs-run-vs-scan parity tier.
   std::string runs_diag;
   if (!free_runs_.check_consistent(is_free, &runs_diag)) return fail(runs_diag);
   if (free_runs_.free_count() != machine_.free_node_count()) {
-    return fail("free-run index free count diverged from machine");
+    return fail("free-node bitmap free count diverged from machine");
   }
   // The class partition must reproduce the machine's own constraint answers.
   for (const AttrClass& cls : classes_) {
@@ -263,7 +266,7 @@ std::optional<std::vector<int>> pick_free_nodes(const Machine& machine,
 #ifdef SDSCHED_INDEX_CROSSCHECK
   const auto indexed = index->find_free_nodes(count, constraints);
   const auto scanned = machine.find_free_nodes(count, constraints);
-  assert(indexed == scanned && "free-run index pick diverged from the machine scan");
+  assert(indexed == scanned && "bitmap index pick diverged from the machine scan");
   return indexed;
 #else
   return index->find_free_nodes(count, constraints);

@@ -17,18 +17,20 @@
 //  * per-attribute-class (free_at -> node count) maps, from which the
 //    per-class reservation-profile layers (constraint-class-aware earliest
 //    starts for constrained jobs) are assembled via busy_groups_for_mask();
-//  * a class-partitioned FreeNodeIndex over free node ids, so
-//    find_free_nodes — called from the scheduling pass on every start and
-//    from SD-Policy's mate-combination DFS — touches only the runs it
-//    consumes instead of scanning the ordered free set;
+//  * a class-partitioned bitmap FreeNodeIndex over free node ids (64 nodes
+//    per word plus a summary level), so free/busy flips are O(1) bit
+//    maintenance and find_free_nodes — called from the scheduling pass on
+//    every start and from SD-Policy's mate-combination DFS — resolves with
+//    popcount/ctz word scans instead of walking the ordered free set;
 //  * a version counter, so schedulers can reuse their profile base across
 //    passes when nothing changed.
 //
 // check_consistent() cross-checks everything against the brute-force node
 // scan the index replaced; compile with SDSCHED_INDEX_CROSSCHECK (the asan
-// preset does) to run it on every scheduling pass — pick_free_nodes()
-// additionally compares every indexed free-node pick against the machine
-// scan under that flag.
+// preset does) to run it on every scheduling pass — the free-node check is
+// then three-way (bitmap words vs the legacy run shadow vs the node scan,
+// see free_node_index.h), and pick_free_nodes() additionally compares
+// every indexed free-node pick against the machine scan.
 #pragma once
 
 #include <cstdint>
@@ -91,8 +93,8 @@ class ClusterStateIndex final : public MachineObserver {
 
   /// Drop-in indexed replacement for Machine::find_free_nodes: same node
   /// ids (lowest-first; earliest adequate run for contiguous requests),
-  /// but the cost is O(runs touched) instead of O(free nodes). `count`
-  /// must be >= 1.
+  /// but resolved from the bitmap words — O(words/64 + words touched)
+  /// worst case instead of O(free nodes). `count` must be >= 1.
   [[nodiscard]] std::optional<std::vector<int>> find_free_nodes(
       int count, const JobConstraints* constraints = nullptr) const;
 
@@ -115,7 +117,7 @@ class ClusterStateIndex final : public MachineObserver {
   void busy_groups_for_mask(std::uint64_t mask, SimTime now,
                             std::vector<std::pair<SimTime, int>>& out) const;
 
-  /// The class-partitioned free-run structure (tests).
+  /// The class-partitioned free-node bitmap (tests).
   [[nodiscard]] const FreeNodeIndex& free_runs() const noexcept { return free_runs_; }
 
   /// Cross-check every indexed quantity against a full scan of the machine

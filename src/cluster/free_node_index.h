@@ -1,31 +1,82 @@
-// Class-partitioned free-run index: the free side of the ClusterStateIndex.
+// Class-partitioned bitmap free-node index: the free side of the
+// ClusterStateIndex.
 //
 // Machine::find_free_nodes walks the ordered free set (and, for constrained
 // requests, filters every free node) on every call — and SD-Policy calls it
 // from inside the mate-combination DFS, so the cost is machine-size-
-// proportional per *evaluated combination*. This index keeps, per attribute
-// class, the maximal runs of consecutive free node ids as a sorted
-// (start -> length) map, maintained incrementally on every free/busy
-// transition (O(log runs) per mutation). Picks then touch only the runs
-// they consume:
+// proportional per *evaluated combination*. The PR 5 run-based index made
+// picks O(runs touched), but every free/busy flip still paid O(log runs)
+// tree maintenance on pointer-chasing map nodes. This index is the word-
+// level endgame: per attribute class, a flat vector of 64-bit words (bit i
+// set <=> node i is free AND belongs to the class) plus one summary level
+// (summary bit w set <=> words[w] != 0) and a cached free-node popcount.
 //
-//  * lowest-id picks walk runs in ascending order across the eligible
-//    classes (k-way merge, k = eligible classes) — O(picked + runs touched);
-//  * contiguous picks walk the same merged sequence joining adjacent runs
-//    and stop at the first span of the requested length — no full scan.
+//  * a free/busy flip sets or clears one bit and maintains the summary
+//    bit and the counts — O(1), no allocation, no tree rebalance;
+//  * lowest-id picks OR the eligible classes' words on the fly (summary
+//    words first, so empty regions cost one bit test per 64 words) and
+//    peel set bits with ctz — ascending ids by construction;
+//  * contiguous picks walk the same merged words carrying the length of
+//    the run that ends at each word's top bit, so a span crossing word
+//    boundaries is found without ever materializing runs.
+//
+// Node-id layout: node id n lives in word n/64, bit n%64, in every class's
+// word vector (a node's bit is permanently zero in the classes it does not
+// belong to). Machines whose node count is not a multiple of 64 leave the
+// tail bits of the last word permanently zero ("dead bits"): ids >= the
+// node count are never inserted, so popcounts and scans need no masking.
+// This flat layout is deliberately shard-friendly: a future scheduler shard
+// owning nodes [a, b) reads words [a/64, ceil(b/64)) without coordination.
 //
 // The index answers with exactly the node ids Machine::find_free_nodes
-// would return (lowest-first, earliest-run-first); the ClusterStateIndex
-// cross-check (SDSCHED_INDEX_CROSSCHECK) asserts that equivalence on every
-// scheduling pass.
+// would return (lowest-first, earliest adequate span for contiguous
+// requests). Under SDSCHED_INDEX_CROSSCHECK the PR 5 run index is kept
+// alive as a shadow tier (deprecation window — see docs/architecture.md):
+// every mutation is mirrored into a LegacyFreeRunIndex and check_consistent
+// runs a three-way bitmap-vs-run-vs-scan parity check; the
+// ClusterStateIndex harness additionally compares every indexed pick
+// against the machine scan.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace sdsched {
+
+/// The PR 5 sorted (run start -> length) free-run structure, O(log runs)
+/// per flip. Deprecated as the primary index — retained as the
+/// SDSCHED_INDEX_CROSSCHECK shadow tier and as the comparison case of the
+/// `micro_scheduler --sd-pass` free-pick study; scheduled for removal once
+/// the bitmap index has soaked through a release window.
+class LegacyFreeRunIndex {
+ public:
+  using RunMap = std::map<int, int>;  ///< run start id -> run length
+
+  LegacyFreeRunIndex() = default;
+  LegacyFreeRunIndex(std::vector<int> node_class, int classes);
+
+  void insert(int id);  ///< node `id` became free (must be occupied)
+  void erase(int id);   ///< node `id` became occupied (must be free)
+
+  [[nodiscard]] int free_count() const noexcept { return free_; }
+
+  /// Same contract as FreeNodeIndex::pick (the two must agree bit-for-bit).
+  [[nodiscard]] std::optional<std::vector<int>> pick(int count,
+                                                     const std::vector<int>& classes,
+                                                     bool contiguous) const;
+
+  [[nodiscard]] const RunMap& runs_of_class(int cls) const {
+    return runs_[static_cast<std::size_t>(cls)];
+  }
+
+ private:
+  std::vector<RunMap> runs_;  ///< one map per attribute class
+  std::vector<int> node_class_;
+  int free_ = 0;
+};
 
 class FreeNodeIndex {
  public:
@@ -35,13 +86,18 @@ class FreeNodeIndex {
   /// starts free; the owner erases the occupied ones while indexing.
   FreeNodeIndex(std::vector<int> node_class, int classes);
 
-  /// Node `id` became free (must currently be occupied).
+  /// Node `id` became free (must currently be occupied). O(1).
   void insert(int id);
 
-  /// Node `id` became occupied (must currently be free).
+  /// Node `id` became occupied (must currently be free). O(1).
   void erase(int id);
 
   [[nodiscard]] int free_count() const noexcept { return free_; }
+
+  /// Free nodes of one class (cached popcount).
+  [[nodiscard]] int free_count_of_class(int cls) const {
+    return classes_[static_cast<std::size_t>(cls)].free;
+  }
 
   /// The `count` lowest free ids among nodes whose class is listed in
   /// `classes` (ascending class indices); with `contiguous`, the first
@@ -52,23 +108,44 @@ class FreeNodeIndex {
                                                      const std::vector<int>& classes,
                                                      bool contiguous) const;
 
-  /// The run map of one class (tests and the consistency cross-check).
-  [[nodiscard]] const std::map<int, int>& runs_of_class(int cls) const {
-    return runs_[static_cast<std::size_t>(cls)];
+  /// One class's free runs, derived from the bitmap on demand — test and
+  /// diagnostic surface only (the hot paths never materialize runs).
+  [[nodiscard]] std::map<int, int> runs_of_class(int cls) const;
+
+  /// One class's bitmap words / summary words (tests: the summary-level
+  /// invariant `summary bit w == (words[w] != 0)` is asserted after every
+  /// mutation by the property suite).
+  [[nodiscard]] const std::vector<std::uint64_t>& words_of_class(int cls) const {
+    return classes_[static_cast<std::size_t>(cls)].words;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& summary_of_class(int cls) const {
+    return classes_[static_cast<std::size_t>(cls)].summary;
   }
 
-  /// Rebuild the expected run maps from `is_free` (a brute-force free
-  /// predicate over node ids) and compare. On mismatch returns false and,
-  /// if given, fills `diagnosis`.
+  /// Verify against `is_free` (a brute-force free predicate over node ids):
+  /// every bit, the summary level, and the cached counts — and, under
+  /// SDSCHED_INDEX_CROSSCHECK, the legacy run shadow (three-way
+  /// bitmap-vs-run-vs-scan parity). On mismatch returns false and, if
+  /// given, fills `diagnosis`.
   [[nodiscard]] bool check_consistent(const std::vector<bool>& is_free,
                                       std::string* diagnosis = nullptr) const;
 
  private:
-  using RunMap = std::map<int, int>;  ///< run start id -> run length
+  /// One attribute class's slice of the bitmap.
+  struct ClassBits {
+    std::vector<std::uint64_t> words;    ///< bit i of word i/64: node free & in class
+    std::vector<std::uint64_t> summary;  ///< bit w of word w/64: words[w] != 0
+    int free = 0;                        ///< cached popcount over `words`
+  };
 
-  std::vector<RunMap> runs_;  ///< one map per attribute class
+  std::vector<ClassBits> classes_;
   std::vector<int> node_class_;
+  std::size_t word_count_ = 0;  ///< ceil(node count / 64), shared by all classes
   int free_ = 0;
+
+#ifdef SDSCHED_INDEX_CROSSCHECK
+  LegacyFreeRunIndex legacy_;  ///< shadow tier, mirrored on every flip
+#endif
 };
 
 }  // namespace sdsched

@@ -1,6 +1,14 @@
 // The cluster: a homogeneous set of nodes (SLURM select/linear semantics:
 // whole-node allocation, lowest-id-first for determinism) plus load
 // accounting feeding the energy model.
+//
+// Node-id layout contract: node ids are dense, 0 .. node_count()-1, and
+// never change after construction. The bitmap FreeNodeIndex relies on this
+// mapping — node id n occupies word n/64, bit n%64 of each attribute
+// class's word vector. Machines whose node count is not a multiple of 64
+// simply leave the tail bits of the last word permanently zero (ids >= the
+// node count never exist, so no masking is needed anywhere); see
+// cluster/free_node_index.h for the full layout.
 #pragma once
 
 #include <optional>

@@ -115,9 +115,9 @@ class Scheduler {
   /// with on_finish(), it sees every running-set transition.
   virtual void on_job_started(JobId /*job*/) {}
 
-  /// Free-node picking: O(runs touched) through the class-partitioned
-  /// free-run index when one is attached, the ordered machine scan
-  /// otherwise. Identical node ids either way (cross-checked per call
+  /// Free-node picking: popcount/ctz word scans through the class-
+  /// partitioned bitmap index when one is attached, the ordered machine
+  /// scan otherwise. Identical node ids either way (cross-checked per call
   /// under SDSCHED_INDEX_CROSSCHECK).
   [[nodiscard]] std::optional<std::vector<int>> find_free_nodes(
       int count, const JobConstraints& constraints) const;

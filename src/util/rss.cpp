@@ -1,0 +1,31 @@
+#include "util/rss.h"
+
+#ifdef __linux__
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace sdsched {
+
+std::uint64_t peak_rss_bytes() {
+#ifdef __linux__
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    // "VmHWM:     123456 kB" — the high-water mark of the resident set.
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + 6, "%llu", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(status);
+  return kib * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace sdsched

@@ -1,0 +1,15 @@
+// Peak-RSS probe for bench artifacts: the memory-flat accounting every
+// `sdsched-bench-v1` header carries (docs/bench-format.md) so archive-scale
+// replays can show their footprint trajectory alongside wall-clock.
+#pragma once
+
+#include <cstdint>
+
+namespace sdsched {
+
+/// Peak resident set size of this process, in bytes — VmHWM from
+/// /proc/self/status on Linux; 0 on platforms without the probe (callers
+/// emit the value as-is, consumers treat 0 as "unavailable").
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace sdsched

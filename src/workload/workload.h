@@ -40,6 +40,11 @@ class Workload {
 
   void add(JobSpec spec) { detach().push_back(spec); }
 
+  /// Pre-size the job storage for a known (or estimated) job count so bulk
+  /// readers append without reallocation churn. A hint, not a limit —
+  /// detaches like every mutation.
+  void reserve(std::size_t capacity) { detach().reserve(capacity); }
+
   /// Mutable view of the job list. Detaches from sharing copies and
   /// invalidates preparation — call prepare_for() again before simulating.
   [[nodiscard]] std::vector<JobSpec>& mutable_jobs() { return detach(); }

@@ -167,5 +167,140 @@ TEST(FreeNodeIndex, RandomizedChurnMatchesMachineScan) {
   EXPECT_GT(starts, 50);  // the walk actually exercised occupancy churn
 }
 
+// ---------------------------------------------------------------------------
+// Property: bitmap == legacy run index == brute-force reference through pure
+// free/busy flip churn, at 64-aligned and non-aligned node counts (the dead
+// bits of a partial last word must never surface), up to 50K nodes. The
+// summary-level invariant — summary bit w set exactly when words[w] != 0 —
+// is asserted after every single mutation.
+// ---------------------------------------------------------------------------
+
+/// Machine::find_free_nodes semantics over a plain free vector: the `count`
+/// lowest eligible ids, or the first `count` ids of the earliest adequate
+/// run of consecutive eligible ids.
+std::optional<std::vector<int>> reference_pick(const std::vector<bool>& is_free,
+                                               const std::vector<int>& node_class,
+                                               int count, const std::vector<int>& classes,
+                                               bool contiguous) {
+  std::vector<int> ids;
+  for (int id = 0; id < static_cast<int>(is_free.size()); ++id) {
+    if (!is_free[static_cast<std::size_t>(id)]) continue;
+    for (const int cls : classes) {
+      if (node_class[static_cast<std::size_t>(id)] == cls) {
+        ids.push_back(id);
+        break;
+      }
+    }
+  }
+  if (!contiguous) {
+    if (static_cast<int>(ids.size()) < count) return std::nullopt;
+    ids.resize(static_cast<std::size_t>(count));
+    return ids;
+  }
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= ids.size(); ++i) {
+    if (i == ids.size() || ids[i] != ids[i - 1] + 1) {
+      if (i - run_start >= static_cast<std::size_t>(count)) {
+        return std::vector<int>(ids.begin() + static_cast<std::ptrdiff_t>(run_start),
+                                ids.begin() + static_cast<std::ptrdiff_t>(run_start) +
+                                    count);
+      }
+      run_start = i;
+    }
+  }
+  return std::nullopt;
+}
+
+void churn_parity(int node_count, int steps, int probe_every, std::uint64_t seed) {
+  std::uint64_t state = seed;
+  const auto rnd = [&state](std::uint64_t bound) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state % bound;
+  };
+  constexpr int kClasses = 3;
+  std::vector<int> node_class(static_cast<std::size_t>(node_count));
+  for (auto& cls : node_class) cls = static_cast<int>(rnd(kClasses));
+
+  FreeNodeIndex bitmap(node_class, kClasses);
+  LegacyFreeRunIndex legacy(node_class, kClasses);
+  std::vector<bool> is_free(static_cast<std::size_t>(node_count), true);
+
+  const std::vector<std::vector<int>> class_lists{{0}, {1}, {2}, {0, 2}, {0, 1, 2}};
+  const std::vector<int> counts{1, 2, 7, 63, 64, 65};
+
+  std::string diag;
+  for (int step = 0; step < steps; ++step) {
+    const int id = static_cast<int>(rnd(static_cast<std::uint64_t>(node_count)));
+    if (is_free[static_cast<std::size_t>(id)]) {
+      bitmap.erase(id);
+      legacy.erase(id);
+      is_free[static_cast<std::size_t>(id)] = false;
+    } else {
+      bitmap.insert(id);
+      legacy.insert(id);
+      is_free[static_cast<std::size_t>(id)] = true;
+    }
+
+    // Summary-level invariant on the class the flip touched, after every
+    // mutation — the one structural fact every word scan relies on.
+    const auto& words = bitmap.words_of_class(node_class[static_cast<std::size_t>(id)]);
+    const auto& summary =
+        bitmap.summary_of_class(node_class[static_cast<std::size_t>(id)]);
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      const bool bit = ((summary[w >> 6] >> (w & 63)) & 1) != 0;
+      ASSERT_EQ(bit, words[w] != 0)
+          << "step " << step << ": summary bit " << w << " out of sync";
+    }
+
+    if (step % probe_every != 0) continue;
+    ASSERT_TRUE(bitmap.check_consistent(is_free, &diag)) << "step " << step << ": " << diag;
+    for (const auto& classes : class_lists) {
+      for (const bool contiguous : {false, true}) {
+        for (const int count : counts) {
+          const auto got = bitmap.pick(count, classes, contiguous);
+          const auto legacy_got = legacy.pick(count, classes, contiguous);
+          const auto want =
+              reference_pick(is_free, node_class, count, classes, contiguous);
+          ASSERT_EQ(got, want) << "step " << step << " nodes " << node_count << " count "
+                               << count << " contiguous " << contiguous;
+          ASSERT_EQ(legacy_got, want)
+              << "step " << step << " nodes " << node_count << " count " << count
+              << " contiguous " << contiguous << " (legacy)";
+        }
+      }
+    }
+  }
+}
+
+TEST(FreeNodeIndexProperty, ChurnParityTinyNonAligned) {
+  churn_parity(/*node_count=*/5, /*steps=*/400, /*probe_every=*/1, 0x1234567890abcdefULL);
+}
+
+TEST(FreeNodeIndexProperty, ChurnParityExactlyOneWord) {
+  churn_parity(/*node_count=*/64, /*steps=*/400, /*probe_every=*/1, 0x2468ace013579bdfULL);
+}
+
+TEST(FreeNodeIndexProperty, ChurnParityWordBoundary) {
+  churn_parity(/*node_count=*/65, /*steps=*/400, /*probe_every=*/1, 0xfedcba9876543210ULL);
+}
+
+TEST(FreeNodeIndexProperty, ChurnParityTwoWordsNonAligned) {
+  churn_parity(/*node_count=*/130, /*steps=*/600, /*probe_every=*/2, 0x0f1e2d3c4b5a6978ULL);
+}
+
+TEST(FreeNodeIndexProperty, ChurnParityThousandNodes) {
+  churn_parity(/*node_count=*/1000, /*steps=*/600, /*probe_every=*/10, 0x13579bdf02468aceULL);
+}
+
+TEST(FreeNodeIndexProperty, ChurnParityFiftyThousandNodes) {
+  // The 50K scaling case (non-64-multiple, 782 words): fewer probes — the
+  // brute-force reference is O(n) per probe — but every one of the 2000
+  // flips still sweeps the summary invariant.
+  churn_parity(/*node_count=*/50000, /*steps=*/2000, /*probe_every=*/250,
+               0x9e3779b97f4a7c15ULL);
+}
+
 }  // namespace
 }  // namespace sdsched
