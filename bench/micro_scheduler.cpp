@@ -15,9 +15,9 @@
 // incrementally maintained MateRegistry against the historical
 // whole-job-table scan (plans are asserted identical) — plus the free-pick
 // study, a 256→1024→5040→50K node-count sweep reporting free-node pick
-// p50/p95 and flip throughput for the bitmap FreeNodeIndex against the
-// deprecated run index and the raw machine scan (picks are asserted
-// byte-identical across all three tiers). `--max-freepick-p95-ns` is the
+// p50/p95 and flip throughput for the bitmap FreeNodeIndex against the raw
+// machine scan (picks are asserted byte-identical across the two
+// tiers). `--max-freepick-p95-ns` is the
 // CI regression guard: nonzero makes the run fail if the bitmap pick p95
 // at the largest machine exceeds the budget. Both JSON documents land in
 // the same `sdsched-bench-v1` family the figure benches emit; CI's
@@ -507,12 +507,11 @@ struct FreePickStats {
 /// flatness gate (`--max-freepick-p95-ns`) pins down.
 ///
 /// The same cycling sequence of pick shapes — count x contiguous x
-/// constrained — is then timed against three tiers: the bitmap
-/// FreeNodeIndex (through the ClusterStateIndex seam schedulers use), the
-/// deprecated LegacyFreeRunIndex, and the raw machine scan. Every pick is
-/// compared across the tiers; a divergence aborts the bench. Flip
-/// throughput (erase+insert pairs) is measured for the two index tiers;
-/// the machine's flips ride inside the allocation path and are not
+/// constrained — is then timed against two tiers: the bitmap FreeNodeIndex
+/// (through the ClusterStateIndex seam schedulers use) and the raw machine
+/// scan. Every pick is compared across the tiers; a divergence aborts the
+/// bench. Flip throughput (erase+insert pairs) is measured for the index
+/// tier; the machine's flips ride inside the allocation path and are not
 /// separable, so its entry reports 0.
 std::vector<FreePickStats> run_free_pick_study(int node_count, int picks, int flips,
                                                double& generate_seconds) {
@@ -567,13 +566,11 @@ std::vector<FreePickStats> run_free_pick_study(int node_count, int picks, int fl
     mgr.finish_job(1, job);
   }
 
-  // Mirror the final occupancy into the comparison tiers (both start with
-  // every node free).
-  LegacyFreeRunIndex legacy(node_class, 2);
-  FreeNodeIndex bitmap_flipper(node_class, 2);  // standalone copy for flip timing
+  // Mirror the final occupancy into the standalone flip-timing copy (it
+  // starts with every node free).
+  FreeNodeIndex bitmap_flipper(node_class, 2);
   for (int id = 0; id < node_count; ++id) {
     if (machine.node(id).empty()) continue;
-    legacy.erase(id);
     bitmap_flipper.erase(id);
   }
 
@@ -583,8 +580,6 @@ std::vector<FreePickStats> run_free_pick_study(int node_count, int picks, int fl
   // too small for one (a 64-node highmem run on the 256-node cell), the
   // exhaustive failed scan is a latency case too, and nullopt must agree
   // across the tiers like any other answer.
-  const std::vector<int> all_classes{0, 1};
-  const std::vector<int> highmem_only{0};
   JobConstraints contig;
   contig.contiguous = true;
   JobConstraints high;
@@ -593,16 +588,14 @@ std::vector<FreePickStats> run_free_pick_study(int node_count, int picks, int fl
   high_contig.contiguous = true;
   struct Shape {
     const JobConstraints* constraints;  ///< nullptr = unconstrained
-    const std::vector<int>* classes;    ///< the equivalent eligible-class list
-    bool contiguous;
     int count;
   };
   std::vector<Shape> shapes;
   for (const int count : {1, 4, 16, 64}) {
-    shapes.push_back(Shape{nullptr, &all_classes, false, count});
-    shapes.push_back(Shape{&contig, &all_classes, true, count});
-    shapes.push_back(Shape{&high, &highmem_only, false, count});
-    shapes.push_back(Shape{&high_contig, &highmem_only, true, count});
+    shapes.push_back(Shape{nullptr, count});
+    shapes.push_back(Shape{&contig, count});
+    shapes.push_back(Shape{&high, count});
+    shapes.push_back(Shape{&high_contig, count});
   }
   generate_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - setup_start).count();
@@ -612,8 +605,8 @@ std::vector<FreePickStats> run_free_pick_study(int node_count, int picks, int fl
   // the tiers would charge the bitmap for the cache the machine scan
   // evicts. Answers are compared across tiers afterwards.
   using Picked = std::optional<std::vector<int>>;
-  std::vector<Picked> answers[3];
-  std::vector<double> latencies[3];
+  std::vector<Picked> answers[2];
+  std::vector<double> latencies[2];
   const auto run_tier = [&](int tier, const auto& pick_fn) {
     answers[tier].reserve(static_cast<std::size_t>(picks));
     latencies[tier].reserve(static_cast<std::size_t>(picks));
@@ -630,15 +623,11 @@ std::vector<FreePickStats> run_free_pick_study(int node_count, int picks, int fl
     return index.find_free_nodes(shape.count, shape.constraints);
   });
   run_tier(1, [&](const Shape& shape) {
-    return legacy.pick(shape.count, *shape.classes, shape.contiguous);
-  });
-  run_tier(2, [&](const Shape& shape) {
     return machine.find_free_nodes(shape.count, shape.constraints);
   });
-  if (answers[0] != answers[1] || answers[0] != answers[2]) {
+  if (answers[0] != answers[1]) {
     std::fprintf(stderr,
-                 "ERROR: free-pick tiers diverged at %d nodes (bitmap vs run index vs "
-                 "machine scan)\n",
+                 "ERROR: free-pick tiers diverged at %d nodes (bitmap vs machine scan)\n",
                  node_count);
     std::exit(1);
   }
@@ -666,12 +655,11 @@ std::vector<FreePickStats> run_free_pick_study(int node_count, int picks, int fl
     return seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0;
   };
   const double bitmap_flips = time_flips(bitmap_flipper);
-  const double legacy_flips = time_flips(legacy);
 
-  std::vector<FreePickStats> stats(3);
-  const char* labels[3] = {"bitmap", "run_index", "machine_scan"};
-  const double tier_flips[3] = {bitmap_flips, legacy_flips, 0.0};
-  for (int tier = 0; tier < 3; ++tier) {
+  std::vector<FreePickStats> stats(2);
+  const char* labels[2] = {"bitmap", "machine_scan"};
+  const double tier_flips[2] = {bitmap_flips, 0.0};
+  for (int tier = 0; tier < 2; ++tier) {
     stats[static_cast<std::size_t>(tier)].label = labels[tier];
     stats[static_cast<std::size_t>(tier)].nodes = node_count;
     stats[static_cast<std::size_t>(tier)].picks = picks;
@@ -745,10 +733,9 @@ int run_sd_pass(int argc, char** argv) {
     std::printf("%-14s %8d %10.0f %10.0f %14.0f\n", s.label.c_str(), s.nodes, s.p50_ns,
                 s.p95_ns, s.flips_per_sec);
   }
-  std::printf("\nbitmap is the O(1)-flip word index schedulers use; run_index is the\n"
-              "deprecated PR 5 structure (crosscheck tier); machine_scan is the raw\n"
-              "ordered-set walk (its flips ride inside the allocation path — not\n"
-              "measured). Picks are byte-identical across all three tiers.\n");
+  std::printf("\nbitmap is the O(1)-flip word index schedulers use; machine_scan is the\n"
+              "raw ordered-set walk (its flips ride inside the allocation path — not\n"
+              "measured). Picks are byte-identical across the two tiers.\n");
 
   // CI regression guard: the bitmap pick p95 at the largest machine must
   // stay inside the budget (generous — the point is catching a complexity

@@ -1,0 +1,273 @@
+// swf_ingest: ingest-throughput microbench and memory-flatness gate for the
+// chunked streaming SWF reader (workload/swf_stream.h).
+//
+// Inputs are the two bundled 2500-row trace fixtures plus a deterministically
+// synthesized archive-scale SWF (~400K rows by default — the RICC shape, the
+// largest log the paper replays). For each input the bench measures:
+//
+//   * a pure streaming scan (SwfJobStream, nothing materialized): wall
+//     clock, rows/s, MB/s, and the VmRSS delta across the scan. The delta
+//     is the memory-flatness gate — it must stay within
+//     --max-ingest-rss-mb whether the file has 2500 rows or 400K, because
+//     the scan holds one chunk plus one carry line, never the file or the
+//     job vector.
+//   * materializing reads through both readers — read_swf (chunked) vs
+//     read_swf_reference (the historical getline+istringstream path) —
+//     best-of --repeats, with the resulting Workloads byte-compared
+//     (write_swf output) so the throughput claim is about identical work.
+//
+// Flags (values also come from SDSCHED_* env vars, util/cli.h):
+//   --rows=N                synthesized archive rows (default 400000)
+//   --repeats=N             best-of timing repeats (default 3)
+//   --chunk-bytes=N         chunked refill size (default 256 KiB)
+//   --out-dir=DIR           where the synthesized SWF lands (default ".")
+//   --max-ingest-rss-mb=M   streaming-scan RSS-delta budget per file, MiB
+//                           (default 16; exit 1 on breach)
+//   --min-ingest-speedup=F  required chunked/reference throughput ratio on
+//                           the archive-scale file (default 1.0; exit 1
+//                           below it; 0 disables)
+//   --json=PATH             machine-readable sdsched-bench-v1 "swf_ingest"
+//                           document (docs/bench-format.md), written
+//                           through a sink-mode JsonWriter
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/swf.h"
+#include "workload/swf_stream.h"
+#include "workload/trace_catalog.h"
+
+namespace {
+
+using namespace sdsched;
+using namespace sdsched::bench;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct IngestCase {
+  std::string label;       ///< short name for tables/JSON
+  std::string path;
+  std::uint64_t bytes = 0;  ///< file size (from the scan's bytes_consumed)
+  std::uint64_t rows = 0;   ///< data rows delivered by the scan
+  // Streaming scan (runs FIRST, before anything materializes a job vector).
+  double scan_seconds = 0.0;
+  std::uint64_t scan_rss_delta = 0;  ///< VmRSS growth across the scan, bytes
+  // Materializing reads, best-of repeats.
+  double chunked_seconds = 0.0;
+  double reference_seconds = 0.0;
+  std::size_t jobs = 0;  ///< jobs kept after filters
+};
+
+std::ifstream open_or_die(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("swf_ingest: cannot open " + path);
+  return in;
+}
+
+/// Pure streaming pass: pull every row, materialize nothing. The VmRSS
+/// delta around this is what the flatness gate checks.
+void run_scan(IngestCase& c, std::size_t chunk_bytes) {
+  const std::uint64_t rss_before = current_rss_bytes();
+  const auto start = std::chrono::steady_clock::now();
+  std::ifstream in = open_or_die(c.path);
+  SwfJobStream stream(in, SwfReadOptions{}, chunk_bytes);
+  JobSpec spec;
+  while (stream.next(spec)) {
+  }
+  c.scan_seconds = seconds_since(start);
+  const std::uint64_t rss_after = current_rss_bytes();
+  c.scan_rss_delta = rss_after > rss_before ? rss_after - rss_before : 0;
+  c.bytes = stream.stats().bytes_consumed;
+  c.rows = stream.stats().rows;
+}
+
+/// Best-of-repeats wall clock for one reader over one file.
+template <typename ReadFn>
+double best_of(int repeats, const std::string& path, ReadFn read) {
+  double best = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    std::ifstream in = open_or_die(path);
+    const auto start = std::chrono::steady_clock::now();
+    const Workload workload = read(in);
+    const double elapsed = seconds_since(start);
+    if (workload.empty()) throw std::runtime_error("swf_ingest: empty read of " + path);
+    if (i == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+double mb_per_s(std::uint64_t bytes, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(bytes) / 1e6 / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto rows = static_cast<std::size_t>(args.get_int("rows", 400000));
+  const int repeats = std::max(1, static_cast<int>(args.get_int("repeats", 3)));
+  const auto chunk_bytes = static_cast<std::size_t>(
+      args.get_int("chunk-bytes", static_cast<long long>(SwfChunkReader::kDefaultChunkBytes)));
+  const std::string out_dir = args.get_or("out-dir", ".");
+  const long long max_rss_mb = args.get_int("max-ingest-rss-mb", 16);
+  const double min_speedup = args.get_double("min-ingest-speedup", 1.0);
+  const std::string json_path = args.get_or("json", "");
+
+  print_banner("SWF ingest", "chunked streaming reader vs getline reference",
+               "archive-scale replay needs flat-memory ingestion: RICC-2010 is "
+               "447794 rows, far past what per-row allocation should touch");
+
+  const auto generate_start = std::chrono::steady_clock::now();
+  std::vector<IngestCase> cases;
+  for (const auto& info : trace_catalog()) {
+    cases.push_back(IngestCase{info.name + "_fixture", default_fixture_path(info), 0, 0,
+                               0.0, 0, 0.0, 0.0, 0});
+  }
+  // The archive-scale input: synthesized with the fixture writer (RICC
+  // shape, full machine, status sprinkle included so sanitization runs),
+  // deterministic in (trace, rows). The generator materializes a `rows`-job
+  // workload and frees it again; big vector frees unmap, so the streaming
+  // scans below still see a clean VmRSS baseline.
+  {
+    const TraceInfo* ricc = find_trace("ricc");
+    if (ricc == nullptr) throw std::runtime_error("swf_ingest: ricc not in catalog");
+    const std::string big_path =
+        out_dir + "/swf_ingest_ricc_" + std::to_string(rows) + ".swf";
+    write_trace_fixture(*ricc, big_path, rows);
+    cases.push_back(IngestCase{"ricc_archive", big_path, 0, 0, 0.0, 0, 0.0, 0.0, 0});
+  }
+  const double generate_seconds = seconds_since(generate_start);
+
+  // Phase 1 — streaming scans, before any materializing read pollutes the
+  // heap: the RSS deltas must be flat from 2500 rows to the archive file.
+  const auto ingest_start = std::chrono::steady_clock::now();
+  for (auto& c : cases) run_scan(c, chunk_bytes);
+
+  // Phase 2 — parity, then throughput. One read through each path per file,
+  // byte-compared; identical output is what makes the timing comparable.
+  for (auto& c : cases) {
+    std::ifstream chunked_in = open_or_die(c.path);
+    const Workload chunked = read_swf(chunked_in, SwfReadOptions{}, chunk_bytes);
+    std::ifstream reference_in = open_or_die(c.path);
+    const Workload reference = read_swf_reference(reference_in);
+    std::ostringstream a;
+    std::ostringstream b;
+    write_swf(a, chunked);
+    write_swf(b, reference);
+    if (a.str() != b.str()) {
+      std::fprintf(stderr, "ERROR: chunked and reference readers disagree on %s\n",
+                   c.path.c_str());
+      return 1;
+    }
+    c.jobs = chunked.size();
+    c.chunked_seconds = best_of(repeats, c.path, [chunk_bytes](std::ifstream& in) {
+      return read_swf(in, SwfReadOptions{}, chunk_bytes);
+    });
+    c.reference_seconds = best_of(
+        repeats, c.path, [](std::ifstream& in) { return read_swf_reference(in); });
+  }
+  const double ingest_seconds = seconds_since(ingest_start);
+
+  std::printf("\n%d-repeat best-of, chunk %zu bytes; readers byte-identical per file:\n\n",
+              repeats, chunk_bytes);
+  AsciiTable table({"file", "MB", "rows", "jobs", "ref MB/s", "chunked MB/s", "speedup",
+                    "scan dRSS KiB"});
+  bool rss_ok = true;
+  bool speedup_ok = true;
+  for (const auto& c : cases) {
+    const double speedup =
+        c.chunked_seconds > 0.0 ? c.reference_seconds / c.chunked_seconds : 0.0;
+    table.add_row({c.label, AsciiTable::num(static_cast<double>(c.bytes) / 1e6, 2),
+                   std::to_string(c.rows), std::to_string(c.jobs),
+                   AsciiTable::num(mb_per_s(c.bytes, c.reference_seconds), 1),
+                   AsciiTable::num(mb_per_s(c.bytes, c.chunked_seconds), 1),
+                   AsciiTable::num(speedup, 2), std::to_string(c.scan_rss_delta / 1024)});
+    if (max_rss_mb > 0 &&
+        c.scan_rss_delta > static_cast<std::uint64_t>(max_rss_mb) * 1024 * 1024) {
+      std::fprintf(stderr,
+                   "ERROR: streaming scan of %s grew RSS by %llu KiB "
+                   "(budget %lld MiB) — the scan is supposed to be memory-flat\n",
+                   c.label.c_str(),
+                   static_cast<unsigned long long>(c.scan_rss_delta / 1024), max_rss_mb);
+      rss_ok = false;
+    }
+    // The speedup gate only judges the archive-scale file: sub-millisecond
+    // fixture reads are noise-dominated.
+    if (min_speedup > 0.0 && c.label == "ricc_archive" && speedup < min_speedup) {
+      std::fprintf(stderr, "ERROR: chunked reader speedup %.2fx on %s below --min-ingest-speedup=%.2f\n",
+                   speedup, c.label.c_str(), min_speedup);
+      speedup_ok = false;
+    }
+  }
+  table.print();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for writing: " + json_path);
+    JsonWriter json(out);
+    json.begin_object();
+    json.field("schema", "sdsched-bench-v1");
+    json.field("bench", "swf_ingest");
+    json.field("detlint_version", detlint::kVersion);
+    json.field("detlint_ruleset_hash", detlint::ruleset_hash());
+    json.field("wall_seconds", generate_seconds + ingest_seconds);
+    json.key("context");
+    json.begin_object();
+    json.field("rows", rows);
+    json.field("repeats", repeats);
+    json.field("chunk_bytes", chunk_bytes);
+    json.field("max_ingest_rss_mb", max_rss_mb);
+    json.field("min_ingest_speedup", min_speedup);
+    json.end_object();
+    json.key("phase_seconds");
+    json.begin_object();
+    json.field("ingest", ingest_seconds);
+    json.field("generate", generate_seconds);
+    json.field("simulate", 0.0);
+    json.field("report", 0.0);
+    json.end_object();
+    json.field("peak_rss_bytes", peak_rss_bytes());
+    json.key("ingest");
+    json.begin_array();
+    for (const auto& c : cases) {
+      json.begin_object();
+      json.field("file", c.label);
+      json.field("path", c.path);
+      json.field("bytes", c.bytes);
+      json.field("rows", c.rows);
+      json.field("jobs", c.jobs);
+      json.field("scan_seconds", c.scan_seconds);
+      json.field("scan_rows_per_s",
+                 c.scan_seconds > 0.0 ? static_cast<double>(c.rows) / c.scan_seconds : 0.0);
+      json.field("scan_mb_per_s", mb_per_s(c.bytes, c.scan_seconds));
+      json.field("scan_rss_delta_bytes", c.scan_rss_delta);
+      json.field("chunked_seconds", c.chunked_seconds);
+      json.field("reference_seconds", c.reference_seconds);
+      json.field("chunked_mb_per_s", mb_per_s(c.bytes, c.chunked_seconds));
+      json.field("reference_mb_per_s", mb_per_s(c.bytes, c.reference_seconds));
+      json.field("speedup",
+                 c.chunked_seconds > 0.0 ? c.reference_seconds / c.chunked_seconds : 0.0);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("gates");
+    json.begin_object();
+    json.field("rss_ok", rss_ok);
+    json.field("speedup_ok", speedup_ok);
+    json.end_object();
+    json.end_object();
+    json.finish();
+    out.put('\n');
+    if (!out) throw std::runtime_error("write failed: " + json_path);
+    std::printf("  (json written to %s)\n", json_path.c_str());
+  }
+
+  return rss_ok && speedup_ok ? 0 : 1;
+}

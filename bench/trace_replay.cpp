@@ -21,8 +21,25 @@
 //   --write-fixtures=DIR    regenerate the bundled fixtures into DIR and exit
 //   --fixture-jobs=N        fixture size for --write-fixtures (default 2500,
 //                           the size of the committed data/traces fixtures)
+//   --soak                  archive-scale replay (the nightly soak): ingest
+//                           each trace's FULL log from
+//                           $SDSCHED_TRACE_DIR/<archive_file> when present
+//                           (the real Parallel Workloads Archive file, not
+//                           redistributed here), else synthesize_soak() at
+//                           --soak-jobs jobs on the full machine. Defaults
+//                           to backfill + fcfs so a 448K-job night stays
+//                           bounded; pass --schedulers=sd to soak the SD
+//                           sweep too. Stamps the `ingest` phase into the
+//                           JSON phase breakdown.
+//   --soak-jobs=N           synthesized soak size when the real log is
+//                           absent (default 200000)
+//   --max-rss-mb=N          fail (exit 1) when peak RSS exceeds N MiB — the
+//                           nightly memory-flatness gate (0 = report only)
 #include "bench_common.h"
 
+#include <fstream>
+
+#include "workload/swf.h"
 #include "workload/trace_catalog.h"
 #include "workload/workload_stats.h"
 
@@ -44,6 +61,34 @@ struct TraceEntry {
   MachineConfig machine;
 };
 
+/// Soak ingestion: the real full log when $SDSCHED_TRACE_DIR holds it (the
+/// streaming reader keeps the parse flat in memory; only the job vector is
+/// resident), else an archive-scale synthesized stand-in at the full
+/// machine size.
+LoadedTrace load_soak_trace(const TraceInfo& info, std::size_t soak_jobs,
+                            std::uint64_t seed) {
+  LoadedTrace loaded;
+  loaded.info = info;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* dir = std::getenv("SDSCHED_TRACE_DIR"); dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/" + info.archive_file;
+    if (std::ifstream probe(path); probe.good()) {
+      Workload workload = read_swf_file(path);
+      workload.info().name = info.name;
+      workload.prepare_for(info.nodes, info.cores_per_node);
+      loaded.workload = std::move(workload);
+      loaded.from_fixture = true;
+      loaded.source = path;
+    }
+  }
+  if (loaded.workload.empty()) {
+    loaded.workload = synthesize_soak(info, soak_jobs, seed);
+    loaded.source = "synthesize_soak";
+  }
+  loaded.validation = validate_trace(loaded.workload, loaded.info);
+  return loaded;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,8 +107,12 @@ int main(int argc, char** argv) {
                "W3/W4 replay real logs (RICC-2010, CEA-Curie-2011); same-second "
                "submit bursts coalesce into one pass on the non-SD schedulers");
 
+  const bool soak = args.get_bool("soak");
+  const auto soak_jobs = static_cast<std::size_t>(args.get_int("soak-jobs", 200000));
+  const long long max_rss_mb = args.get_int("max-rss-mb", 0);
+
   bool run_fcfs = true;
-  bool run_sd = true;
+  bool run_sd = !soak;  // the nightly soak bounds its runtime: SD is opt-in
   if (const std::string list = args.get_or("schedulers", ""); !list.empty()) {
     run_fcfs = run_sd = false;
     for (const std::string& token : split_csv(list)) {
@@ -91,14 +140,24 @@ int main(int argc, char** argv) {
 
   GridBuilder grid;
   std::vector<TraceEntry> traces;
+  const auto ingest_start = std::chrono::steady_clock::now();
   for (const auto& name : parse_trace_list(args.get_or("traces", ""))) {
-    TraceLoadOptions options;
-    options.scale = scale;
-    options.seed = ctx.seed;
-    options.allow_fixture = !synthesize;
-    options.max_jobs = static_cast<std::size_t>(args.get_int("max-jobs", 0));
     TraceEntry entry;
-    entry.loaded = load_trace(name, options);
+    if (soak) {
+      const TraceInfo* soak_info = find_trace(name);
+      if (soak_info == nullptr) {
+        std::fprintf(stderr, "ERROR: unknown trace '%s'\n", name.c_str());
+        return 1;
+      }
+      entry.loaded = load_soak_trace(*soak_info, soak_jobs, ctx.seed);
+    } else {
+      TraceLoadOptions options;
+      options.scale = scale;
+      options.seed = ctx.seed;
+      options.allow_fixture = !synthesize;
+      options.max_jobs = static_cast<std::size_t>(args.get_int("max-jobs", 0));
+      entry.loaded = load_trace(name, options);
+    }
     const TraceInfo& info = entry.loaded.info;
     entry.machine = trace_machine(entry.loaded);
 
@@ -127,6 +186,11 @@ int main(int argc, char** argv) {
     }
     traces.push_back(std::move(entry));
   }
+  // The trace loads are this bench's `ingest` phase (reader/synthesis);
+  // write_bench_json carves it out of `generate` in the JSON breakdown.
+  ctx.ingest_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - ingest_start)
+          .count();
 
   const SweepExecution exec = grid.run(ctx);
 
@@ -178,7 +242,7 @@ int main(int argc, char** argv) {
   }
 
   write_bench_json(ctx.json_path, "trace_replay", ctx, exec, grid.rows,
-                   [&traces](JsonWriter& json) {
+                   [&traces, soak, soak_jobs, max_rss_mb](JsonWriter& json) {
                      json.key("traces");
                      json.begin_array();
                      for (const auto& entry : traces) {
@@ -198,6 +262,26 @@ int main(int argc, char** argv) {
                        json.end_object();
                      }
                      json.end_array();
+                     if (soak) {
+                       json.key("soak");
+                       json.begin_object();
+                       json.field("soak_jobs", soak_jobs);
+                       json.field("max_rss_mb", max_rss_mb);
+                       json.end_object();
+                     }
                    });
+
+  // Nightly memory-flatness gate: the streaming reader plus one resident
+  // job vector per trace should keep even a 448K-job replay well under the
+  // budget; a breach means an O(jobs) structure crept back in somewhere.
+  if (max_rss_mb > 0) {
+    const double rss_mb = static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+    std::printf("\npeak RSS %.1f MiB (budget %lld MiB)\n", rss_mb, max_rss_mb);
+    if (rss_mb > static_cast<double>(max_rss_mb)) {
+      std::fprintf(stderr, "ERROR: peak RSS %.1f MiB exceeds --max-rss-mb=%lld\n", rss_mb,
+                   max_rss_mb);
+      return 1;
+    }
+  }
   return 0;
 }

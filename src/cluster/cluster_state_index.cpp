@@ -238,9 +238,8 @@ bool ClusterStateIndex::check_consistent(std::string* diagnosis) const {
       return fail(oss.str());
     }
   }
-  // Free-node bitmap: bit-level + summary-invariant check, plus (under
-  // SDSCHED_INDEX_CROSSCHECK) the legacy run shadow — the three-way
-  // bitmap-vs-run-vs-scan parity tier.
+  // Free-node bitmap: bit-level + summary-invariant check, plus the derived
+  // run view against the node scan.
   std::string runs_diag;
   if (!free_runs_.check_consistent(is_free, &runs_diag)) return fail(runs_diag);
   if (free_runs_.free_count() != machine_.free_node_count()) {

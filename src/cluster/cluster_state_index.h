@@ -27,10 +27,11 @@
 //
 // check_consistent() cross-checks everything against the brute-force node
 // scan the index replaced; compile with SDSCHED_INDEX_CROSSCHECK (the asan
-// preset does) to run it on every scheduling pass — the free-node check is
-// then three-way (bitmap words vs the legacy run shadow vs the node scan,
-// see free_node_index.h), and pick_free_nodes() additionally compares
-// every indexed free-node pick against the machine scan.
+// preset does) to run it on every scheduling pass — the free-node check
+// covers every bitmap bit, the summary invariant, and the derived run view
+// against the node scan (see free_node_index.h), and pick_free_nodes()
+// additionally compares every indexed free-node pick against the machine
+// scan.
 #pragma once
 
 #include <cstdint>

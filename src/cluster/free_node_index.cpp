@@ -35,132 +35,6 @@ std::vector<std::map<int, int>> scan_runs(const std::vector<int>& node_class,
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// LegacyFreeRunIndex — the PR 5 run structure (crosscheck/bench tier only).
-// ---------------------------------------------------------------------------
-
-LegacyFreeRunIndex::LegacyFreeRunIndex(std::vector<int> node_class, int classes)
-    : node_class_(std::move(node_class)) {
-  const std::vector<bool> all_free(node_class_.size(), true);
-  runs_ = scan_runs(node_class_, static_cast<std::size_t>(classes), all_free);
-  free_ = static_cast<int>(node_class_.size());
-}
-
-void LegacyFreeRunIndex::insert(int id) {
-  RunMap& runs = runs_[static_cast<std::size_t>(node_class_[static_cast<std::size_t>(id)])];
-  int start = id;
-  int length = 1;
-  // Absorb the run starting right after id, if any.
-  if (const auto right = runs.find(id + 1); right != runs.end()) {
-    length += right->second;
-    runs.erase(right);
-  }
-  // Extend the run ending right before id, if any.
-  const auto after = runs.lower_bound(id);
-  if (after != runs.begin()) {
-    const auto left = std::prev(after);
-    assert(left->first + left->second <= id && "node inserted into the free index twice");
-    if (left->first + left->second == id) {
-      left->second += length;
-      ++free_;
-      return;
-    }
-  }
-  runs.emplace(start, length);
-  ++free_;
-}
-
-void LegacyFreeRunIndex::erase(int id) {
-  RunMap& runs = runs_[static_cast<std::size_t>(node_class_[static_cast<std::size_t>(id)])];
-  auto it = runs.upper_bound(id);
-  assert(it != runs.begin() && "node erased from the free index while not free");
-  --it;
-  const int start = it->first;
-  const int length = it->second;
-  assert(id >= start && id < start + length &&
-         "node erased from the free index while not free");
-  runs.erase(it);
-  if (id > start) runs.emplace(start, id - start);
-  if (id < start + length - 1) runs.emplace(id + 1, start + length - 1 - id);
-  --free_;
-}
-
-std::optional<std::vector<int>> LegacyFreeRunIndex::pick(int count,
-                                                         const std::vector<int>& classes,
-                                                         bool contiguous) const {
-  assert(count >= 1);
-  // One cursor per eligible class; each step consumes the run with the
-  // lowest start id. Runs are disjoint across classes (a node belongs to
-  // exactly one), so the walk yields globally ascending disjoint runs.
-  struct Cursor {
-    RunMap::const_iterator it;
-    RunMap::const_iterator end;
-  };
-  Cursor single;
-  std::vector<Cursor> merged;
-  std::size_t cursor_count = 0;
-  if (classes.size() == 1) {
-    const RunMap& runs = runs_[static_cast<std::size_t>(classes.front())];
-    if (!runs.empty()) {
-      single = Cursor{runs.begin(), runs.end()};
-      cursor_count = 1;
-    }
-  } else {
-    merged.reserve(classes.size());
-    for (const int cls : classes) {
-      const RunMap& runs = runs_[static_cast<std::size_t>(cls)];
-      if (!runs.empty()) merged.push_back(Cursor{runs.begin(), runs.end()});
-    }
-    cursor_count = merged.size();
-  }
-  Cursor* const cursors = classes.size() == 1 ? &single : merged.data();
-  const auto next_run = [cursors, cursor_count]() -> const std::pair<const int, int>* {
-    const std::pair<const int, int>* best = nullptr;
-    Cursor* best_cursor = nullptr;
-    for (std::size_t c = 0; c < cursor_count; ++c) {
-      Cursor& cursor = cursors[c];
-      if (cursor.it == cursor.end) continue;
-      if (best == nullptr || cursor.it->first < best->first) {
-        best = &*cursor.it;
-        best_cursor = &cursor;
-      }
-    }
-    if (best_cursor != nullptr) ++best_cursor->it;
-    return best;
-  };
-
-  if (!contiguous) {
-    std::vector<int> picked;
-    picked.reserve(static_cast<std::size_t>(count));
-    while (static_cast<int>(picked.size()) < count) {
-      const auto* run = next_run();
-      if (run == nullptr) return std::nullopt;  // not enough eligible free nodes
-      const int take = std::min(run->second, count - static_cast<int>(picked.size()));
-      for (int i = 0; i < take; ++i) picked.push_back(run->first + i);
-    }
-    return picked;
-  }
-
-  // Contiguous: join adjacent eligible runs into maximal spans; the first
-  // span reaching `count` is the earliest (runs arrive in ascending order).
-  int span_start = -1;
-  int span_length = 0;
-  for (const auto* run = next_run(); run != nullptr; run = next_run()) {
-    if (span_length > 0 && run->first == span_start + span_length) {
-      span_length += run->second;
-    } else {
-      span_start = run->first;
-      span_length = run->second;
-    }
-    if (span_length >= count) {
-      std::vector<int> picked(static_cast<std::size_t>(count));
-      for (int i = 0; i < count; ++i) picked[static_cast<std::size_t>(i)] = span_start + i;
-      return picked;
-    }
-  }
-  return std::nullopt;
-}
-
-// ---------------------------------------------------------------------------
 // FreeNodeIndex — the bitmap-word primary.
 // ---------------------------------------------------------------------------
 
@@ -186,9 +60,6 @@ FreeNodeIndex::FreeNodeIndex(std::vector<int> node_class, int classes)
     }
   }
   free_ = static_cast<int>(node_class_.size());
-#ifdef SDSCHED_INDEX_CROSSCHECK
-  legacy_ = LegacyFreeRunIndex(node_class_, classes);
-#endif
 }
 
 void FreeNodeIndex::insert(int id) {
@@ -201,9 +72,6 @@ void FreeNodeIndex::insert(int id) {
   cb.summary[w >> 6] |= std::uint64_t{1} << (w & 63);
   ++cb.free;
   ++free_;
-#ifdef SDSCHED_INDEX_CROSSCHECK
-  legacy_.insert(id);
-#endif
 }
 
 void FreeNodeIndex::erase(int id) {
@@ -216,9 +84,6 @@ void FreeNodeIndex::erase(int id) {
   if (cb.words[w] == 0) cb.summary[w >> 6] &= ~(std::uint64_t{1} << (w & 63));
   --cb.free;
   --free_;
-#ifdef SDSCHED_INDEX_CROSSCHECK
-  legacy_.erase(id);
-#endif
 }
 
 std::optional<std::vector<int>> FreeNodeIndex::pick(int count,
@@ -419,20 +284,6 @@ bool FreeNodeIndex::check_consistent(const std::vector<bool>& is_free,
     }
   }
 
-#ifdef SDSCHED_INDEX_CROSSCHECK
-  // Tier 3 (deprecation window): the legacy run shadow against the same
-  // scan — three-way bitmap-vs-run-vs-scan parity.
-  if (legacy_.free_count() != expect_free) {
-    return fail("legacy run shadow free count diverged from node scan");
-  }
-  for (std::size_t c = 0; c < classes_.size(); ++c) {
-    if (legacy_.runs_of_class(static_cast<int>(c)) != expect_runs[c]) {
-      std::ostringstream oss;
-      oss << "legacy run shadow class " << c << " runs diverged from node scan";
-      return fail(oss.str());
-    }
-  }
-#endif
   return true;
 }
 

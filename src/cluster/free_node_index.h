@@ -30,12 +30,13 @@
 //
 // The index answers with exactly the node ids Machine::find_free_nodes
 // would return (lowest-first, earliest adequate span for contiguous
-// requests). Under SDSCHED_INDEX_CROSSCHECK the PR 5 run index is kept
-// alive as a shadow tier (deprecation window — see docs/architecture.md):
-// every mutation is mirrored into a LegacyFreeRunIndex and check_consistent
-// runs a three-way bitmap-vs-run-vs-scan parity check; the
-// ClusterStateIndex harness additionally compares every indexed pick
-// against the machine scan.
+// requests). check_consistent runs a two-tier parity check against a
+// brute-force node scan — every bit plus the summary invariant, then the
+// derived run view (the contract the PR 5 run index used to own; that
+// structure itself served out its deprecation window as a
+// SDSCHED_INDEX_CROSSCHECK shadow and is gone) — and the ClusterStateIndex
+// harness additionally compares every indexed pick against the machine
+// scan under SDSCHED_INDEX_CROSSCHECK.
 #pragma once
 
 #include <cstdint>
@@ -45,38 +46,6 @@
 #include <vector>
 
 namespace sdsched {
-
-/// The PR 5 sorted (run start -> length) free-run structure, O(log runs)
-/// per flip. Deprecated as the primary index — retained as the
-/// SDSCHED_INDEX_CROSSCHECK shadow tier and as the comparison case of the
-/// `micro_scheduler --sd-pass` free-pick study; scheduled for removal once
-/// the bitmap index has soaked through a release window.
-class LegacyFreeRunIndex {
- public:
-  using RunMap = std::map<int, int>;  ///< run start id -> run length
-
-  LegacyFreeRunIndex() = default;
-  LegacyFreeRunIndex(std::vector<int> node_class, int classes);
-
-  void insert(int id);  ///< node `id` became free (must be occupied)
-  void erase(int id);   ///< node `id` became occupied (must be free)
-
-  [[nodiscard]] int free_count() const noexcept { return free_; }
-
-  /// Same contract as FreeNodeIndex::pick (the two must agree bit-for-bit).
-  [[nodiscard]] std::optional<std::vector<int>> pick(int count,
-                                                     const std::vector<int>& classes,
-                                                     bool contiguous) const;
-
-  [[nodiscard]] const RunMap& runs_of_class(int cls) const {
-    return runs_[static_cast<std::size_t>(cls)];
-  }
-
- private:
-  std::vector<RunMap> runs_;  ///< one map per attribute class
-  std::vector<int> node_class_;
-  int free_ = 0;
-};
 
 class FreeNodeIndex {
  public:
@@ -123,10 +92,9 @@ class FreeNodeIndex {
   }
 
   /// Verify against `is_free` (a brute-force free predicate over node ids):
-  /// every bit, the summary level, and the cached counts — and, under
-  /// SDSCHED_INDEX_CROSSCHECK, the legacy run shadow (three-way
-  /// bitmap-vs-run-vs-scan parity). On mismatch returns false and, if
-  /// given, fills `diagnosis`.
+  /// every bit, the summary level, the cached counts, and the derived run
+  /// view against the scan. On mismatch returns false and, if given, fills
+  /// `diagnosis`.
   [[nodiscard]] bool check_consistent(const std::vector<bool>& is_free,
                                       std::string* diagnosis = nullptr) const;
 
@@ -142,10 +110,6 @@ class FreeNodeIndex {
   std::vector<int> node_class_;
   std::size_t word_count_ = 0;  ///< ceil(node count / 64), shared by all classes
   int free_ = 0;
-
-#ifdef SDSCHED_INDEX_CROSSCHECK
-  LegacyFreeRunIndex legacy_;  ///< shadow tier, mirrored on every flip
-#endif
 };
 
 }  // namespace sdsched

@@ -72,6 +72,7 @@ void JsonWriter::open(char opener, char closer) {
   prepare_for_value();
   out_ += opener;
   stack_.push_back(Frame{closer, true});
+  maybe_flush();
 }
 
 void JsonWriter::close(char closer) {
@@ -84,12 +85,30 @@ void JsonWriter::close(char closer) {
   out_ += closer;
   if (stack_.empty()) done_ = true;
   (void)closer;
+  maybe_flush();
 }
 
 void JsonWriter::write_scalar(std::string_view text) {
   prepare_for_value();
   out_ += text;
   if (stack_.empty()) done_ = true;
+  maybe_flush();
+}
+
+void JsonWriter::maybe_flush() {
+  // Only drain between appends — never mid-token — so the sink receives the
+  // exact byte stream buffered mode would have produced.
+  if (sink_ == nullptr || out_.size() < kFlushBytes) return;
+  sink_->write(out_.data(), static_cast<std::streamsize>(out_.size()));
+  out_.clear();
+}
+
+void JsonWriter::finish() {
+  assert(sink_ != nullptr && "JsonWriter: finish() is for sink mode");
+  assert(stack_.empty() && done_ && "JsonWriter: document incomplete");
+  sink_->write(out_.data(), static_cast<std::streamsize>(out_.size()));
+  out_.clear();
+  if (!*sink_) throw std::runtime_error("JsonWriter: sink write failed");
 }
 
 void JsonWriter::value(std::string_view v) {
@@ -116,6 +135,7 @@ void JsonWriter::value(double v) {
 }
 
 const std::string& JsonWriter::str() const {
+  assert(sink_ == nullptr && "JsonWriter: str() is for buffered mode (use finish())");
   assert(stack_.empty() && done_ && "JsonWriter: document incomplete");
   return out_;
 }

@@ -8,6 +8,14 @@
 // determinism test relies on that. Non-finite doubles become null (JSON has
 // no NaN/Inf).
 //
+// Two emission modes share the same byte output:
+//  * buffered (default): the whole document accumulates; str() returns it.
+//  * sink: construct with an std::ostream and the buffer drains to it every
+//    ~64 KiB, so emitting a document is O(1) in memory regardless of its
+//    size — archive-scale bench artifacts (448K per-job record rows) are
+//    written without ever being held. Call finish() after the last close to
+//    flush the tail; str() is unavailable in this mode.
+//
 // Usage:
 //   JsonWriter json;
 //   json.begin_object();
@@ -22,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -33,6 +42,11 @@ class JsonWriter {
  public:
   /// `indent` spaces per nesting level; 0 writes compact single-line JSON.
   explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  /// Sink mode: drain to `sink` as the document grows (flat memory). The
+  /// stream must outlive the writer; end with finish().
+  explicit JsonWriter(std::ostream& sink, int indent = 2)
+      : sink_(&sink), indent_(indent) {}
 
   void begin_object() { open('{', '}'); }
   void end_object() { close('}'); }
@@ -66,8 +80,12 @@ class JsonWriter {
     value(v);
   }
 
-  /// The finished document. All scopes must be closed.
+  /// The finished document (buffered mode only). All scopes must be closed.
   [[nodiscard]] const std::string& str() const;
+
+  /// Sink mode: flush the buffered tail of the completed document to the
+  /// sink. Throws std::runtime_error if the sink stream failed.
+  void finish();
 
   [[nodiscard]] static std::string escape(std::string_view s);
 
@@ -84,9 +102,14 @@ class JsonWriter {
   void prepare_for_value();
   void write_scalar(std::string_view text);
   void newline_indent(std::size_t depth);
+  /// Sink mode: drain the buffer once it exceeds the flush threshold.
+  void maybe_flush();
+
+  static constexpr std::size_t kFlushBytes = 64 * 1024;
 
   std::string out_;
   std::vector<Frame> stack_;
+  std::ostream* sink_ = nullptr;  ///< nullptr = buffered mode
   int indent_;
   bool pending_key_ = false;
   bool done_ = false;  ///< a complete top-level value has been written

@@ -7,22 +7,43 @@
 
 namespace sdsched {
 
-std::uint64_t peak_rss_bytes() {
+namespace {
+
 #ifdef __linux__
+/// Scan /proc/self/status for a "Field:   123456 kB" line and return the
+/// value in bytes; 0 when the file or field is unavailable.
+std::uint64_t status_field_bytes(const char* field, std::size_t field_len) {
   std::FILE* status = std::fopen("/proc/self/status", "r");
   if (status == nullptr) return 0;
   char line[256];
   std::uint64_t kib = 0;
   while (std::fgets(line, sizeof line, status) != nullptr) {
-    // "VmHWM:     123456 kB" — the high-water mark of the resident set.
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+    if (std::strncmp(line, field, field_len) == 0) {
       unsigned long long value = 0;
-      if (std::sscanf(line + 6, "%llu", &value) == 1) kib = value;
+      if (std::sscanf(line + field_len, "%llu", &value) == 1) kib = value;
       break;
     }
   }
   std::fclose(status);
   return kib * 1024;
+}
+#endif
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() {
+#ifdef __linux__
+  // "VmHWM:     123456 kB" — the high-water mark of the resident set.
+  return status_field_bytes("VmHWM:", 6);
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_bytes() {
+#ifdef __linux__
+  // "VmRSS:     123456 kB" — the resident set right now.
+  return status_field_bytes("VmRSS:", 6);
 #else
   return 0;
 #endif

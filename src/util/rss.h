@@ -1,4 +1,4 @@
-// Peak-RSS probe for bench artifacts: the memory-flat accounting every
+// RSS probes for bench artifacts: the memory-flat accounting every
 // `sdsched-bench-v1` header carries (docs/bench-format.md) so archive-scale
 // replays can show their footprint trajectory alongside wall-clock.
 #pragma once
@@ -11,5 +11,11 @@ namespace sdsched {
 /// /proc/self/status on Linux; 0 on platforms without the probe (callers
 /// emit the value as-is, consumers treat 0 as "unavailable").
 [[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Current resident set size, in bytes — VmRSS from /proc/self/status on
+/// Linux; 0 on platforms without the probe. Unlike the high-water mark this
+/// can fall, so before/after deltas around a phase bound that phase's
+/// resident growth — the swf_ingest bench gates on exactly that.
+[[nodiscard]] std::uint64_t current_rss_bytes();
 
 }  // namespace sdsched

@@ -28,9 +28,26 @@ struct SwfReadOptions {
 
 /// Parse SWF text. Recognizes `; MaxNodes:` and `; MaxProcs:` headers.
 /// Throws std::runtime_error on malformed numeric fields.
-[[nodiscard]] Workload read_swf(std::istream& in, const SwfReadOptions& options = {});
+///
+/// Implemented on the chunked streaming reader (workload/swf_stream.h):
+/// fixed-size buffer refills and in-buffer field scanning, no per-row
+/// string allocations, memory flat in the file size until the job vector
+/// itself. Output is byte-identical to `read_swf_reference` (pinned by
+/// tests/workload/test_swf_stream.cpp). `chunk_bytes` overrides the refill
+/// size (0 = default 256 KiB; the parity property test sweeps it down to 1
+/// byte). Callers that don't need the whole job vector — windowed stats,
+/// bounded `max_jobs` prefixes — should pull from `SwfJobStream` directly.
+[[nodiscard]] Workload read_swf(std::istream& in, const SwfReadOptions& options = {},
+                                std::size_t chunk_bytes = 0);
 [[nodiscard]] Workload read_swf_file(const std::string& path,
                                      const SwfReadOptions& options = {});
+
+/// The historical line-at-a-time reader (std::getline + istringstream field
+/// extraction, whole vector materialized up front). Retained verbatim as
+/// the parity oracle for the streaming reader's property tests and as the
+/// comparison tier of `bench/swf_ingest` — not a production path.
+[[nodiscard]] Workload read_swf_reference(std::istream& in,
+                                          const SwfReadOptions& options = {});
 
 /// Write a workload as SWF (with MaxNodes/MaxProcs headers when known).
 void write_swf(std::ostream& out, const Workload& workload);

@@ -143,6 +143,16 @@ Workload synthesize_like(const TraceInfo& info, double scale, std::uint64_t seed
   return workload;
 }
 
+Workload synthesize_soak(const TraceInfo& info, std::size_t n_jobs, std::uint64_t seed) {
+  if (seed == 0) seed = info.default_seed;
+  Workload workload = synthesize_base(info, /*scale=*/1.0, seed, static_cast<int>(n_jobs),
+                                      /*load_override=*/info.avg_offered_load);
+  burstify(workload, info, seed);
+  workload.info().name = info.name;
+  workload.prepare_for(info.nodes, info.cores_per_node);
+  return workload;
+}
+
 std::string default_fixture_path(const TraceInfo& info, const std::string& dir) {
   std::string resolved = dir;
   if (resolved.empty()) {
@@ -177,7 +187,16 @@ LoadedTrace load_trace(const std::string& name, const TraceLoadOptions& options)
   if (options.allow_fixture) {
     const std::string path = default_fixture_path(*info, options.fixture_dir);
     if (std::ifstream probe(path); probe.good()) {
-      Workload workload = read_swf_file(path);
+      SwfReadOptions read_options;
+      // A bounded load stops the chunked scan at max_jobs rows: an archive-
+      // scale log pointed at via SDSCHED_TRACE_DIR is never read (let alone
+      // materialized) past the cap. SWF logs are submit-ordered, so the
+      // first max_jobs rows are the earliest — the same jobs the
+      // read-everything-then-truncate path kept. With --scale < 1 the keep
+      // count depends on the full row count, so only that path still reads
+      // the whole file.
+      if (scale >= 1.0) read_options.max_jobs = options.max_jobs;
+      Workload workload = read_swf_file(path, read_options);
       // The fixture is a fixed-size sample: --scale on a fixture keeps the
       // earliest fraction of the trace rather than re-synthesizing.
       std::size_t keep = workload.size();

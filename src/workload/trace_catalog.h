@@ -63,6 +63,14 @@ struct TraceInfo {
 [[nodiscard]] Workload synthesize_like(const TraceInfo& info, double scale = 1.0,
                                        std::uint64_t seed = 0);
 
+/// Archive-scale synthesis for the full-log soak (`trace_replay --soak`):
+/// exactly `n_jobs` jobs at the FULL machine size and the trace's documented
+/// log-wide load — unlike synthesize_like(), whose scale shrinks nodes and
+/// jobs together, and unlike the fixture generator, which floors the load at
+/// a busy window. Deterministic in (info, n_jobs, seed); seed 0 = default.
+[[nodiscard]] Workload synthesize_soak(const TraceInfo& info, std::size_t n_jobs,
+                                       std::uint64_t seed = 0);
+
 struct TraceLoadOptions {
   double scale = 1.0;        ///< synthesis scale; fixtures truncate when < 1
   /// 0 = trace default. Drives synthesis and, when the trace's

@@ -168,11 +168,11 @@ TEST(FreeNodeIndex, RandomizedChurnMatchesMachineScan) {
 }
 
 // ---------------------------------------------------------------------------
-// Property: bitmap == legacy run index == brute-force reference through pure
-// free/busy flip churn, at 64-aligned and non-aligned node counts (the dead
-// bits of a partial last word must never surface), up to 50K nodes. The
-// summary-level invariant — summary bit w set exactly when words[w] != 0 —
-// is asserted after every single mutation.
+// Property: bitmap == brute-force reference through pure free/busy flip
+// churn, at 64-aligned and non-aligned node counts (the dead bits of a
+// partial last word must never surface), up to 50K nodes. The summary-level
+// invariant — summary bit w set exactly when words[w] != 0 — is asserted
+// after every single mutation.
 // ---------------------------------------------------------------------------
 
 /// Machine::find_free_nodes semantics over a plain free vector: the `count`
@@ -224,7 +224,6 @@ void churn_parity(int node_count, int steps, int probe_every, std::uint64_t seed
   for (auto& cls : node_class) cls = static_cast<int>(rnd(kClasses));
 
   FreeNodeIndex bitmap(node_class, kClasses);
-  LegacyFreeRunIndex legacy(node_class, kClasses);
   std::vector<bool> is_free(static_cast<std::size_t>(node_count), true);
 
   const std::vector<std::vector<int>> class_lists{{0}, {1}, {2}, {0, 2}, {0, 1, 2}};
@@ -235,11 +234,9 @@ void churn_parity(int node_count, int steps, int probe_every, std::uint64_t seed
     const int id = static_cast<int>(rnd(static_cast<std::uint64_t>(node_count)));
     if (is_free[static_cast<std::size_t>(id)]) {
       bitmap.erase(id);
-      legacy.erase(id);
       is_free[static_cast<std::size_t>(id)] = false;
     } else {
       bitmap.insert(id);
-      legacy.insert(id);
       is_free[static_cast<std::size_t>(id)] = true;
     }
 
@@ -260,14 +257,10 @@ void churn_parity(int node_count, int steps, int probe_every, std::uint64_t seed
       for (const bool contiguous : {false, true}) {
         for (const int count : counts) {
           const auto got = bitmap.pick(count, classes, contiguous);
-          const auto legacy_got = legacy.pick(count, classes, contiguous);
           const auto want =
               reference_pick(is_free, node_class, count, classes, contiguous);
           ASSERT_EQ(got, want) << "step " << step << " nodes " << node_count << " count "
                                << count << " contiguous " << contiguous;
-          ASSERT_EQ(legacy_got, want)
-              << "step " << step << " nodes " << node_count << " count " << count
-              << " contiguous " << contiguous << " (legacy)";
         }
       }
     }

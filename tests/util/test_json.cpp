@@ -74,6 +74,57 @@ TEST(JsonWriter, TopLevelScalar) {
   EXPECT_EQ(json.str(), "\"just a string\"");
 }
 
+// Sink mode must produce the exact byte stream buffered mode does, even
+// when the document is large enough to cross the internal flush threshold
+// several times mid-structure.
+TEST(JsonWriter, SinkModeByteIdenticalToBuffered) {
+  const auto build = [](JsonWriter& json) {
+    json.begin_object();
+    json.field("schema", "sdsched-bench-v1");
+    json.key("records");
+    json.begin_array();
+    for (int i = 0; i < 20000; ++i) {  // ~300 KB: several 64 KiB flushes
+      json.begin_array();
+      json.value(i);
+      json.value(static_cast<double>(i) / 3.0);
+      json.value(i % 2 == 0);
+      json.value("row with a \"quoted\" tail");
+      json.end_array();
+    }
+    json.end_array();
+    json.field("count", 20000);
+    json.end_object();
+  };
+
+  JsonWriter buffered;
+  build(buffered);
+
+  std::ostringstream sink;
+  JsonWriter streamed(sink);
+  build(streamed);
+  streamed.finish();
+
+  EXPECT_EQ(sink.str(), buffered.str());
+}
+
+TEST(JsonWriter, SinkModeCompactIndentParity) {
+  const auto build = [](JsonWriter& json) {
+    json.begin_object();
+    json.key("xs");
+    json.begin_array();
+    for (int i = 0; i < 100; ++i) json.value(i);
+    json.end_array();
+    json.end_object();
+  };
+  JsonWriter buffered(0);
+  build(buffered);
+  std::ostringstream sink;
+  JsonWriter streamed(sink, 0);
+  build(streamed);
+  streamed.finish();
+  EXPECT_EQ(sink.str(), buffered.str());
+}
+
 TEST(JsonWriter, WriteTextFileRoundTrips) {
   const std::string path = ::testing::TempDir() + "sdsched_json_test.json";
   write_text_file(path, "{\"x\": 1}");
