@@ -22,6 +22,19 @@
 // at the largest machine exceeds the budget. Both JSON documents land in
 // the same `sdsched-bench-v1` family the figure benches emit; CI's
 // bench-smoke job uploads them next to bench.json.
+//
+// A fourth mode, `--sd-saturation` (with optional `--json=<path>`,
+// `--depths=<d1,d2,...>`, `--sd-sat-passes=<n>`, `--sd-guest-budget=<k>`,
+// `--max-sd-saturation-ratio=<r>`), profiles the FULL SD scheduling pass
+// (SdPolicyScheduler::schedule_pass, not one mate selection) on a full
+// 5040-node Curie-shaped machine at saturated queue depths. Two tiers per
+// depth: `budgeted` is the production saturated-queue config (default
+// bf_max_jobs, guest budget K, failed-select ledger on) and `naive` is the
+// conceptual unbounded scan (bf_max_jobs = depth, no budget, no ledger) —
+// the cost the ledger and budget exist to avoid. `--max-sd-saturation-
+// ratio` gates budgeted p95(largest depth) / p95(smallest depth) in CI:
+// the budgeted pass must stay depth-flat (~1x; the gate allows 10x) while
+// the naive tier scales ~linearly with depth.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -37,6 +50,7 @@
 #include "core/mate_registry.h"
 #include "detlint/ruleset.h"
 #include "core/mate_selector.h"
+#include "core/sd_policy.h"
 #include "drom/node_manager.h"
 #include "sched/backfill.h"
 #include "sched/reservation.h"
@@ -816,6 +830,233 @@ int run_sd_pass(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --sd-saturation: the full SD pass under archive-scale queue depths.
+// ---------------------------------------------------------------------------
+
+struct SdSaturationStats {
+  std::string label;
+  int depth = 0;
+  int passes = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  std::uint64_t estimate_rejections = 0;
+  std::uint64_t selection_failures = 0;
+  std::uint64_t rescans_avoided = 0;
+  std::uint64_t budget_deferrals = 0;
+};
+
+/// One (tier, depth) cell: a FULL 5040-node machine of 2-node running
+/// mates (16 release waves far in the future) and `depth` pending 3-node
+/// malleable guests. Nothing can start statically, and Eq. 3's equality
+/// (sum of 2-node mates == 3 nodes, at most 2 mates) has no solution, so
+/// every considered guest runs a mate search that fails — the saturated
+/// steady state the soak's wait queue lives in. `bounded` toggles the
+/// production config (default bf_max_jobs, guest budget, ledger) against
+/// the conceptual unbounded scan (bf_max_jobs = depth, no budget, no
+/// ledger). NoStartExecutor aborts the bench if a pass ever disagrees
+/// about nothing being startable.
+SdSaturationStats run_sd_saturation_cell(const char* label, int node_count, int depth,
+                                         int passes, bool bounded, int guest_budget,
+                                         double& generate_seconds) {
+  const auto setup_start = std::chrono::steady_clock::now();
+  MachineConfig mc;
+  mc.nodes = node_count;
+  mc.node = NodeConfig{2, 8};  // Curie-shaped: 16 cores per node
+  Machine machine(mc);
+  JobRegistry jobs;
+  DromRegistry drom;
+  NodeManager mgr(machine, jobs, drom);
+  ClusterStateIndex index(machine, jobs);
+
+  const int cores = machine.cores_per_node();
+  const auto add_job = [&](int req_nodes, SimTime req_time) {
+    JobSpec spec;
+    spec.req_cpus = req_nodes * cores;
+    spec.req_nodes = req_nodes;
+    spec.req_time = req_time;
+    spec.base_runtime = req_time;
+    return jobs.add(spec);
+  };
+
+  // Fill the whole machine with 2-node mates, 16 release waves.
+  for (int i = 0; i < node_count / 2; ++i) {
+    const JobId id = add_job(2, 1000000);
+    jobs.at(id).state = JobState::Running;
+    jobs.at(id).predicted_end = 1000000 + (i % 16) * 1000;
+    mgr.start_static(0, id, {2 * i, 2 * i + 1});
+  }
+
+  SchedConfig sched;
+  if (!bounded) sched.bf_max_jobs = depth;  // the unbounded whole-queue walk
+  SdConfig sd;  // DynAVGSD cut-off, the production default
+  sd.scan.ledger = bounded;
+  sd.scan.guest_budget = bounded ? guest_budget : 0;
+  NoStartExecutor executor;
+  SdPolicyScheduler scheduler(machine, jobs, executor, sched, sd);
+  scheduler.set_cluster_index(&index);
+
+  // The saturated queue: `depth` pending 3-node guests.
+  for (int q = 0; q < depth; ++q) scheduler.on_submit(add_job(3, 600));
+
+  generate_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - setup_start).count();
+
+  std::vector<double> latencies_ns;
+  latencies_ns.reserve(static_cast<std::size_t>(passes));
+  for (int p = 0; p < passes; ++p) {
+    const SimTime now = 1 + p;
+    const auto t0 = std::chrono::steady_clock::now();
+    scheduler.schedule_pass(now);
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_ns.push_back(std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+
+  SdSaturationStats stats;
+  stats.label = label;
+  stats.depth = depth;
+  stats.passes = passes;
+  stats.p50_ns = percentile_of(latencies_ns, 0.50);
+  stats.p95_ns = percentile_of(latencies_ns, 0.95);
+  stats.estimate_rejections = scheduler.estimate_rejections();
+  stats.selection_failures = scheduler.selection_failures();
+  stats.rescans_avoided = scheduler.rescans_avoided();
+  stats.budget_deferrals = scheduler.budget_deferrals();
+  return stats;
+}
+
+int run_sd_saturation(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int nodes = static_cast<int>(args.get_int("sat-nodes", 5040));
+  const int passes = static_cast<int>(args.get_int("sd-sat-passes", 4));
+  const int guest_budget = static_cast<int>(args.get_int("sd-guest-budget", 64));
+  const double max_ratio = args.get_double("max-sd-saturation-ratio", 0.0);
+  const std::string json_path = args.get_or("json", "");
+
+  // Comma-separated queue depths, ascending.
+  std::vector<int> depths;
+  {
+    const std::string spec = args.get_or("depths", "1000,10000,100000");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::string tok = spec.substr(pos, comma == std::string::npos ? spec.npos
+                                                                          : comma - pos);
+      if (!tok.empty()) depths.push_back(std::atoi(tok.c_str()));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (depths.empty()) depths = {1000, 10000, 100000};
+  }
+
+  std::printf("full SD pass latency under saturation (%d nodes full of 2-node mates,\n"
+              "queue of 3-node guests with no feasible mate combination)\n",
+              nodes);
+  std::printf("%-10s %9s %12s %12s %10s %10s %10s %10s\n", "case", "depth", "p50(ns)",
+              "p95(ns)", "est_rej", "sel_fail", "skipped", "deferred");
+
+  const auto start = std::chrono::steady_clock::now();
+  double generate_seconds = 0.0;
+  std::vector<SdSaturationStats> all;
+  for (const int depth : depths) {
+    all.push_back(run_sd_saturation_cell("budgeted", nodes, depth, passes, true,
+                                         guest_budget, generate_seconds));
+    all.push_back(run_sd_saturation_cell("naive", nodes, depth, passes, false, 0,
+                                         generate_seconds));
+  }
+  const auto study_end = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(study_end - start).count();
+
+  for (const auto& s : all) {
+    std::printf("%-10s %9d %12.0f %12.0f %10llu %10llu %10llu %10llu\n", s.label.c_str(),
+                s.depth, s.p50_ns, s.p95_ns,
+                static_cast<unsigned long long>(s.estimate_rejections),
+                static_cast<unsigned long long>(s.selection_failures),
+                static_cast<unsigned long long>(s.rescans_avoided),
+                static_cast<unsigned long long>(s.budget_deferrals));
+  }
+  std::printf("\nbudgeted = production saturated-queue config (guest budget %d + failed-\n"
+              "select ledger): pass cost is depth-flat. naive = unbounded whole-queue\n"
+              "scan (bf_max_jobs = depth, no ledger): cost scales with depth.\n",
+              guest_budget);
+
+  // Sanity: the ledger must actually be skipping on the budgeted tier (the
+  // steady state re-considers the same failed guests every pass).
+  for (const auto& s : all) {
+    if (s.label == "budgeted" && s.rescans_avoided == 0) {
+      std::fprintf(stderr,
+                   "ERROR: budgeted cell at depth %d avoided zero re-scans — the "
+                   "failed-select ledger is not engaging\n",
+                   s.depth);
+      return 1;
+    }
+  }
+
+  // CI regression guard: the budgeted pass p95 at the deepest queue must
+  // stay within the ratio budget of the shallowest (a complexity gate, not
+  // a timing assertion — the naive tier's same ratio is ~depth-linear).
+  const auto budgeted_p95_at = [&all](int depth) {
+    for (const auto& s : all) {
+      if (s.label == "budgeted" && s.depth == depth) return s.p95_ns;
+    }
+    return 0.0;
+  };
+  const double shallow = budgeted_p95_at(depths.front());
+  const double deep = budgeted_p95_at(depths.back());
+  const double ratio = shallow > 0.0 ? deep / shallow : 0.0;
+  std::printf("\nbudgeted p95 ratio %d -> %d: %.2fx\n", depths.front(), depths.back(),
+              ratio);
+  if (max_ratio > 0.0 && ratio > max_ratio) {
+    std::fprintf(stderr,
+                 "ERROR: budgeted SD pass p95 grew %.2fx from depth %d to %d, over the "
+                 "%.1fx budget\n",
+                 ratio, depths.front(), depths.back(), max_ratio);
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("schema", "sdsched-bench-v1");
+    json.field("bench", "micro_scheduler_sd_saturation");
+    json.field("detlint_version", detlint::kVersion);
+    json.field("detlint_ruleset_hash", detlint::ruleset_hash());
+    json.key("context");
+    json.begin_object();
+    json.field("nodes", nodes);
+    json.field("passes", passes);
+    json.field("sd_guest_budget", guest_budget);
+    json.field("max_sd_saturation_ratio", max_ratio);
+    json.end_object();
+    json.field("wall_seconds", wall);
+    json.key("sd_saturation");
+    json.begin_array();
+    for (const auto& s : all) {
+      json.begin_object();
+      json.field("case", s.label);
+      json.field("depth", s.depth);
+      json.field("passes", s.passes);
+      json.field("p50_ns", s.p50_ns);
+      json.field("p95_ns", s.p95_ns);
+      json.field("sd_estimate_rejections", s.estimate_rejections);
+      json.field("sd_selection_failures", s.selection_failures);
+      json.field("sd_rescans_avoided", s.rescans_avoided);
+      json.field("sd_budget_deferrals", s.budget_deferrals);
+      json.end_object();
+    }
+    json.end_array();
+    json.field("budgeted_p95_ratio", ratio);
+    write_phase_tail(json, generate_seconds, wall - generate_seconds,
+                     std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                   study_end)
+                         .count());
+    json.end_object();
+    write_text_file(json_path, json.str());
+    std::printf("(json written to %s)\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -825,6 +1066,9 @@ int main(int argc, char** argv) {
   }
   if (args.get_bool("sd-pass")) {
     return run_sd_pass(argc, argv);
+  }
+  if (args.get_bool("sd-saturation")) {
+    return run_sd_saturation(argc, argv);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

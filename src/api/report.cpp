@@ -28,6 +28,10 @@ void SimulationReport::to_json(JsonWriter& json) const {
   json.field("drom_shrink_ops", drom_shrink_ops);
   json.field("drom_expand_ops", drom_expand_ops);
   json.field("cancelled_jobs", cancelled_jobs);
+  json.field("sd_estimate_rejections", sd_estimate_rejections);
+  json.field("sd_selection_failures", sd_selection_failures);
+  json.field("sd_rescans_avoided", sd_rescans_avoided);
+  json.field("sd_budget_deferrals", sd_budget_deferrals);
   json.end_object();
   json.end_object();
 }

@@ -31,6 +31,15 @@ struct SimulationReport {
   std::uint64_t drom_expand_ops = 0;
   std::uint64_t cancelled_jobs = 0;
 
+  // SD-Policy scan counters (zero for other schedulers). The rescans /
+  // deferrals pair attributes the saturated-queue savings: every avoided
+  // re-scan is also counted as a selection failure, so the failure totals
+  // stay comparable to an unbounded run's.
+  std::uint64_t sd_estimate_rejections = 0;  ///< quick-estimate rejections (Listing 1)
+  std::uint64_t sd_selection_failures = 0;   ///< mate searches without a plan
+  std::uint64_t sd_rescans_avoided = 0;      ///< searches the scan ledger skipped
+  std::uint64_t sd_budget_deferrals = 0;     ///< guests past the per-pass budget
+
   [[nodiscard]] std::string brief() const;
 
   /// Serialize as a JSON object (summary and counters; per-job records are

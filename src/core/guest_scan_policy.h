@@ -1,0 +1,106 @@
+// Queue-depth-sublinear SD passes: the per-pass guest budget and the
+// failed-select ledger (ROADMAP "SD at archive scale").
+//
+// Under a saturated workload (offered load > 1, e.g. RICC's 1.35) the wait
+// queue grows without bound and the SD pass — which attempts a mate search
+// for every queued malleability-capable guest — scales with queue depth.
+// Two independent bounds restore sublinearity:
+//
+//  * GuestScanPolicy::guest_budget — a top-K head-of-queue slice: at most
+//    K guests are *considered* per pass, in the active WaitQueue priority
+//    order. A slot is consumed whether the consideration ends in a quick-
+//    estimate rejection, a ledger skip or a real mate search, so the slice
+//    is a pure prefix of the priority order and the ledger below never
+//    changes which guests reach it. K = 0 (the default) is unbounded and
+//    byte-identical to the historical pass.
+//
+//  * GuestScanLedger — skip the mate search for a guest whose previous
+//    search failed in a provably unchanged state. The proof (spelled out
+//    in docs/determinism.md "Scan-ledger skip safety"): at a fixed
+//    ClusterStateIndex mutation_serial and MateRegistry epoch, every
+//    ingredient of a select() is constant or monotonically *harder* in
+//    `now` — candidate penalties and the DynAVGSD cut-off are now-
+//    independent (running jobs' waits froze at their starts), the eligible
+//    candidate set can only shrink (predicted-end expiry), and a later
+//    `now` only tightens the guest-must-finish-inside-every-mate
+//    constraint. The single exception is candidate-list truncation: a
+//    kept top-nm candidate expiring can pull a previously-truncated one
+//    into the explored window, so a truncated scan's failure is proven
+//    only until the earliest kept predicted end (Entry::valid_until,
+//    fed by MateSelector::last_scan()).
+//
+// Skips are decision-invisible by construction; SDSCHED_SD_CROSSCHECK (or
+// GuestScanPolicy::crosscheck) re-runs the full search on every claimed
+// skip and throws on divergence — the runtime analogue of the proof.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event.h"
+#include "util/time_utils.h"
+
+namespace sdsched {
+
+/// SD guest-consideration policy knobs (SdConfig::scan).
+struct GuestScanPolicy {
+  /// Top-K head-of-queue slice: malleability-capable guests considered per
+  /// pass. 0 = unbounded (byte-identical to the pre-ledger pass).
+  int guest_budget = 0;
+
+  /// Consult the failed-select ledger before re-running a mate search.
+  /// Decision-invisible (see the proof above), so it defaults on; turning
+  /// it off only changes how much work runs, never which plans start.
+  bool ledger = true;
+
+  /// Re-run the full mate search on every claimed-safe skip and throw
+  /// std::logic_error on divergence. The SDSCHED_SD_CROSSCHECK environment
+  /// variable enables the same mode process-wide.
+  bool crosscheck = false;
+};
+
+/// Per-guest record of the state in which the last mate search failed.
+/// Indexed by JobId (the budget-cache pattern); entries are invalidated
+/// when their guest starts or finishes, and go stale automatically when
+/// the serial or epoch moves on.
+class GuestScanLedger {
+ public:
+  struct Entry {
+    std::uint64_t serial = 0;  ///< ClusterStateIndex::mutation_serial at failure
+    std::uint64_t epoch = 0;   ///< MateRegistry::epoch at failure
+    SimTime planned = 0;       ///< planning duration the failed search used
+    SimTime valid_until = 0;   ///< first instant the failure proof lapses
+    int max_free = 0;          ///< free-node allowance the failed search saw
+    bool valid = false;
+  };
+
+  void record(JobId guest, const Entry& entry) {
+    const auto idx = static_cast<std::size_t>(guest);
+    if (idx >= entries_.size()) entries_.resize(idx + 1);
+    entries_[idx] = entry;
+    entries_[idx].valid = true;
+  }
+
+  /// True when `guest`'s recorded failure provably still stands: identical
+  /// serial/epoch/planned, a free-node allowance no larger than the failed
+  /// search saw, and `now` still inside the truncation-proof window.
+  [[nodiscard]] bool can_skip(JobId guest, std::uint64_t serial, std::uint64_t epoch,
+                              SimTime planned, int max_free, SimTime now) const noexcept {
+    const auto idx = static_cast<std::size_t>(guest);
+    if (idx >= entries_.size()) return false;
+    const Entry& entry = entries_[idx];
+    return entry.valid && entry.serial == serial && entry.epoch == epoch &&
+           entry.planned == planned && max_free <= entry.max_free &&
+           now < entry.valid_until;
+  }
+
+  void invalidate(JobId guest) noexcept {
+    const auto idx = static_cast<std::size_t>(guest);
+    if (idx < entries_.size()) entries_[idx].valid = false;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sdsched

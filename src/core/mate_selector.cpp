@@ -181,9 +181,18 @@ std::vector<MateSelector::Candidate> MateSelector::collect_candidates(
     if (a.sort_penalty != b.sort_penalty) return a.sort_penalty < b.sort_penalty;
     return a.id < b.id;
   });
+  last_scan_ = ScanSummary{};
   if (config_.max_candidates > 0 &&
       static_cast<int>(candidates.size()) > config_.max_candidates) {
-    candidates.resize(config_.max_candidates);
+    candidates.resize(static_cast<std::size_t>(config_.max_candidates));
+    // The truncated tail was never examined, so a failure proof from this
+    // scan lapses as soon as any *kept* candidate can have expired out of
+    // the window (eligible_mate's predicted_end <= now filter).
+    last_scan_.truncated = true;
+    for (const Candidate& cand : candidates) {
+      last_scan_.kept_min_end =
+          std::min(last_scan_.kept_min_end, jobs_.at(cand.id).predicted_end);
+    }
   }
   return candidates;
 }
@@ -284,6 +293,7 @@ std::optional<MatePlan> MateSelector::select(const Job& guest, SimTime now,
                                              double max_slowdown, int max_free_nodes,
                                              SimTime guest_runtime) const {
   ++stats_.selects;
+  last_scan_ = ScanSummary{};  // a degenerate guest never scans: proof holds forever
   const int total_nodes = guest.spec.req_nodes;
   if (total_nodes <= 0) return std::nullopt;
   if (guest_runtime <= 0) guest_runtime = guest.spec.req_time;

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 
 #include "cluster/machine.h"
@@ -80,6 +81,18 @@ class MateSelector {
     std::uint64_t plans_found = 0;             ///< selects that produced a plan
   };
   [[nodiscard]] const SelectStats& stats() const noexcept { return stats_; }
+
+  /// Shape of the last select()'s candidate walk — what the failed-select
+  /// ledger (GuestScanLedger) needs to bound how long a failure provably
+  /// stands. An untruncated scan's failure holds until the serial/epoch
+  /// move; a truncated one only until the earliest kept predicted end,
+  /// because a kept top-nm candidate expiring can pull a previously
+  /// truncated candidate into the explored window.
+  struct ScanSummary {
+    bool truncated = false;
+    SimTime kept_min_end = std::numeric_limits<SimTime>::max();
+  };
+  [[nodiscard]] const ScanSummary& last_scan() const noexcept { return last_scan_; }
 
  private:
   struct NodeBudget {
@@ -143,6 +156,7 @@ class MateSelector {
   const MateRegistry* registry_ = nullptr;
   const ClusterStateIndex* index_ = nullptr;
   mutable SelectStats stats_;
+  mutable ScanSummary last_scan_;
   /// Indexed by JobId; sized to the job registry at the start of a collect,
   /// so entries (and the pointers Candidates take into them) stay put for
   /// the whole select. Budgets are reused across selects and passes while

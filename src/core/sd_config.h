@@ -3,6 +3,8 @@
 
 #include <limits>
 
+#include "core/guest_scan_policy.h"
+
 namespace sdsched {
 
 /// MAX_SLOWDOWN cut-off flavour (§3.2.2).
@@ -52,6 +54,11 @@ struct SdConfig {
   bool adaptive_sharing = false;
 
   CutoffConfig cutoff = CutoffConfig::dynamic_avg();
+
+  /// Per-pass guest-consideration bounds for saturated queues (guest
+  /// budget + failed-select ledger). Defaults are byte-identical to the
+  /// historical unbounded pass.
+  GuestScanPolicy scan;
 };
 
 }  // namespace sdsched

@@ -2,11 +2,45 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
 
+#include "api/report.h"
+#include "cluster/cluster_state_index.h"
 #include "core/estimator.h"
 #include "util/logging.h"
 
 namespace sdsched {
+
+namespace {
+
+/// SDSCHED_SD_CROSSCHECK: re-run every ledger-skipped mate search in full
+/// and throw on divergence. Read once; all schedulers (and sweep workers)
+/// share the value, like the other SDSCHED_* mode switches.
+bool sd_crosscheck_env() noexcept {
+  static const bool enabled = []() noexcept {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — one-time read under static init
+    const char* value = std::getenv("SDSCHED_SD_CROSSCHECK");
+    return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+SdPolicyScheduler::SdPolicyScheduler(Machine& machine, JobRegistry& jobs,
+                                     StartExecutor& executor, SchedConfig sched_config,
+                                     SdConfig sd_config) noexcept
+    : BackfillScheduler(machine, jobs, executor, sched_config),
+      sd_config_(sd_config),
+      selector_(machine, jobs, sd_config_),
+      crosscheck_(sd_config.scan.crosscheck || sd_crosscheck_env()) {
+  // Warm-start scenarios construct the scheduler against running jobs.
+  mate_registry_.seed(jobs_);
+  selector_.set_mate_registry(&mate_registry_);
+}
 
 void SdPolicyScheduler::schedule_pass(SimTime now) {
 #ifdef SDSCHED_INDEX_CROSSCHECK
@@ -15,12 +49,58 @@ void SdPolicyScheduler::schedule_pass(SimTime now) {
   if (!consistent) log_error("sd", "mate registry inconsistent: ", diagnosis);
   assert(consistent && "MateRegistry diverged from the job scan");
 #endif
+  guests_considered_ = 0;
   BackfillScheduler::schedule_pass(now);
+}
+
+void SdPolicyScheduler::annotate(SimulationReport& report) const {
+  BackfillScheduler::annotate(report);
+  report.sd_estimate_rejections = estimate_rejections_;
+  report.sd_selection_failures = selection_failures_;
+  report.sd_rescans_avoided = rescans_avoided_;
+  report.sd_budget_deferrals = budget_deferrals_;
+}
+
+double SdPolicyScheduler::pass_cutoff(SimTime now) {
+  if (cluster_index_ == nullptr) {
+    return compute_cutoff(sd_config_.cutoff, jobs_, mate_registry_.running(), now);
+  }
+  const std::uint64_t serial = cluster_index_->mutation_serial();
+  const std::uint64_t epoch = mate_registry_.epoch();
+  if (!cutoff_cache_valid_ || cutoff_serial_ != serial || cutoff_epoch_ != epoch) {
+    // At a fixed (serial, epoch) the cut-off is now-independent: the
+    // running set is fixed, a running job's wait froze at its start, and
+    // predicted increases only move with machine mutations.
+    cutoff_value_ = compute_cutoff(sd_config_.cutoff, jobs_, mate_registry_.running(), now);
+    cutoff_serial_ = serial;
+    cutoff_epoch_ = epoch;
+    cutoff_cache_valid_ = true;
+  } else if (crosscheck_) {
+    const double fresh =
+        compute_cutoff(sd_config_.cutoff, jobs_, mate_registry_.running(), now);
+    if (fresh != cutoff_value_) {
+      log_error("sd", "cutoff cache diverged: cached ", cutoff_value_, ", fresh ",
+                fresh, " at t=", now);
+      throw std::logic_error("SD cutoff cache diverged from a fresh computation");
+    }
+  }
+  return cutoff_value_;
 }
 
 bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
                                       ReservationProfile& profile) {
   if (!job.can_start_shrunk()) return false;
+
+  // Top-K head-of-queue slice: the budget counts guests *considered* —
+  // estimate rejections, ledger skips and real mate searches all take a
+  // slot — so a bounded pass sees a pure prefix of the priority order and
+  // the ledger can never change which guests reach this point.
+  if (sd_config_.scan.guest_budget > 0 &&
+      guests_considered_ >= sd_config_.scan.guest_budget) {
+    ++budget_deferrals_;
+    return false;
+  }
+  ++guests_considered_;
 
   // Listing 1: pre-selection estimate. Malleability must beat the static
   // wait before we even search for mates. All estimates use the scheduler's
@@ -33,8 +113,7 @@ bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
     return false;
   }
 
-  const double cutoff =
-      compute_cutoff(sd_config_.cutoff, jobs_, mate_registry_.running(), now);
+  const double cutoff = pass_cutoff(now);
 
   // Free nodes a plan may borrow without displacing this pass's
   // reservations: whatever stays free for the quick-estimate duration.
@@ -57,9 +136,41 @@ bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
     }
   }
 
+  // Failed-select ledger: skip the search when this guest's last failure
+  // provably still stands (docs/determinism.md "Scan-ledger skip safety").
+  // The ledger needs the serial/epoch key, so it is inert without an
+  // attached cluster index (standalone schedulers re-scan every time).
+  const bool ledger_usable = sd_config_.scan.ledger && cluster_index_ != nullptr;
+  if (ledger_usable &&
+      scan_ledger_.can_skip(job.spec.id, cluster_index_->mutation_serial(),
+                            mate_registry_.epoch(), planned, max_free_nodes, now)) {
+    if (crosscheck_) {
+      const auto verify = selector_.select(job, now, cutoff, max_free_nodes, planned);
+      if (verify) {
+        log_error("sd", "scan ledger claimed a safe skip for job ", job.spec.id,
+                  " at t=", now, " but the full search found a plan");
+        throw std::logic_error("GuestScanLedger skip diverged from the full mate search");
+      }
+    }
+    ++selection_failures_;  // decision parity: the full search would fail too
+    ++rescans_avoided_;
+    return false;
+  }
+
   const auto plan = selector_.select(job, now, cutoff, max_free_nodes, planned);
   if (!plan) {
     ++selection_failures_;
+    if (ledger_usable) {
+      GuestScanLedger::Entry entry;
+      entry.serial = cluster_index_->mutation_serial();
+      entry.epoch = mate_registry_.epoch();
+      entry.planned = planned;
+      entry.max_free = max_free_nodes;
+      const MateSelector::ScanSummary& scan = selector_.last_scan();
+      entry.valid_until =
+          scan.truncated ? scan.kept_min_end : std::numeric_limits<SimTime>::max();
+      scan_ledger_.record(job.spec.id, entry);
+    }
     return false;
   }
 

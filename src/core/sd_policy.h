@@ -18,9 +18,22 @@
 // collection rescans the whole job registry per malleable-start attempt.
 // Under SDSCHED_INDEX_CROSSCHECK every pass re-derives the registry by
 // brute force and asserts agreement.
+//
+// Saturated-queue bounds (SdConfig::scan, see core/guest_scan_policy.h):
+// an optional top-K guest budget slices each pass to the head of the
+// priority order, and the failed-select ledger skips mate searches whose
+// previous failure provably still stands — keyed on the cluster index's
+// mutation_serial and the MateRegistry epoch, invalidated by the start /
+// finish hooks below (reconfigurations land as machine mutations, so the
+// serial key covers them). The DynAVGSD cut-off rides the same key in a
+// one-slot cache: at a fixed (serial, epoch) it is now-independent, since
+// running jobs' waits froze at their starts. SDSCHED_SD_CROSSCHECK (env)
+// or scan.crosscheck re-runs every skipped search in full and throws
+// std::logic_error on divergence.
 #pragma once
 
 #include "core/cutoff.h"
+#include "core/guest_scan_policy.h"
 #include "core/mate_registry.h"
 #include "core/mate_selector.h"
 #include "core/sd_config.h"
@@ -31,19 +44,14 @@ namespace sdsched {
 class SdPolicyScheduler final : public BackfillScheduler {
  public:
   SdPolicyScheduler(Machine& machine, JobRegistry& jobs, StartExecutor& executor,
-                    SchedConfig sched_config, SdConfig sd_config) noexcept
-      : BackfillScheduler(machine, jobs, executor, sched_config),
-        sd_config_(sd_config),
-        selector_(machine, jobs, sd_config_) {
-    // Warm-start scenarios construct the scheduler against running jobs.
-    mate_registry_.seed(jobs_);
-    selector_.set_mate_registry(&mate_registry_);
-  }
+                    SchedConfig sched_config, SdConfig sd_config) noexcept;
 
   [[nodiscard]] const char* name() const noexcept override { return "sd-policy"; }
   [[nodiscard]] const SdConfig& sd_config() const noexcept { return sd_config_; }
 
   void schedule_pass(SimTime now) override;
+
+  void annotate(SimulationReport& report) const override;
 
   void set_cluster_index(const ClusterStateIndex* index) noexcept override {
     BackfillScheduler::set_cluster_index(index);
@@ -53,6 +61,7 @@ class SdPolicyScheduler final : public BackfillScheduler {
   void on_finish(JobId job) override {
     mate_registry_.on_finish(job);
     selector_.release_budgets(job);
+    scan_ledger_.invalidate(job);
     BackfillScheduler::on_finish(job);
   }
 
@@ -64,6 +73,11 @@ class SdPolicyScheduler final : public BackfillScheduler {
   [[nodiscard]] std::uint64_t selection_failures() const noexcept {
     return selection_failures_;
   }
+  /// Mate searches the failed-select ledger skipped (each also counts as a
+  /// selection failure, so the failure totals match the unbounded pass).
+  [[nodiscard]] std::uint64_t rescans_avoided() const noexcept { return rescans_avoided_; }
+  /// Guests turned away by an exhausted per-pass budget.
+  [[nodiscard]] std::uint64_t budget_deferrals() const noexcept { return budget_deferrals_; }
 
   /// Mate-selection work counters (micro_scheduler --sd-pass).
   [[nodiscard]] const MateSelector::SelectStats& selector_stats() const noexcept {
@@ -74,15 +88,31 @@ class SdPolicyScheduler final : public BackfillScheduler {
   bool try_malleable(SimTime now, Job& job, SimTime est_start,
                      ReservationProfile& profile) override;
 
-  void on_job_started(JobId job) override { mate_registry_.on_start(jobs_.at(job)); }
+  void on_job_started(JobId job) override {
+    mate_registry_.on_start(jobs_.at(job));
+    scan_ledger_.invalidate(job);
+  }
 
  private:
+  /// This pass's MAX_SLOWDOWN cut-off, through the one-slot (serial,
+  /// epoch) cache when a cluster index is attached.
+  [[nodiscard]] double pass_cutoff(SimTime now);
+
   SdConfig sd_config_;
   MateSelector selector_;
   MateRegistry mate_registry_;
+  GuestScanLedger scan_ledger_;
+  bool crosscheck_ = false;     ///< scan.crosscheck OR SDSCHED_SD_CROSSCHECK
+  int guests_considered_ = 0;   ///< this pass, against scan.guest_budget
+  bool cutoff_cache_valid_ = false;
+  std::uint64_t cutoff_serial_ = 0;
+  std::uint64_t cutoff_epoch_ = 0;
+  double cutoff_value_ = 0.0;
   std::uint64_t malleable_starts_ = 0;
   std::uint64_t estimate_rejections_ = 0;
   std::uint64_t selection_failures_ = 0;
+  std::uint64_t rescans_avoided_ = 0;
+  std::uint64_t budget_deferrals_ = 0;
 };
 
 }  // namespace sdsched

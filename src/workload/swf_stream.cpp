@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <istream>
 #include <stdexcept>
@@ -11,6 +12,11 @@
 namespace sdsched {
 
 namespace {
+
+/// Process-wide sanitize-warning emissions (0 or 1): the message text is
+/// identical for every stream, so the first clamping stream speaks for the
+/// run. Atomic because sweep workers may drain streams concurrently.
+std::atomic<std::uint64_t> g_sanitize_warnings_emitted{0};
 
 constexpr int kStatusFailed = 0;
 constexpr int kStatusCancelled = 5;
@@ -151,9 +157,22 @@ SwfJobStream::~SwfJobStream() {
   flush_warning();
 }
 
+std::uint64_t SwfJobStream::sanitize_warnings_emitted() noexcept {
+  return g_sanitize_warnings_emitted.load(std::memory_order_relaxed);
+}
+
+void SwfJobStream::reset_sanitize_warning_guard() noexcept {
+  g_sanitize_warnings_emitted.store(0, std::memory_order_relaxed);
+}
+
 void SwfJobStream::flush_warning() {
   if (stats_.sanitized == 0 || stats_.sanitize_warnings != 0) return;
   ++stats_.sanitize_warnings;
+  std::uint64_t expected = 0;
+  if (!g_sanitize_warnings_emitted.compare_exchange_strong(expected, 1,
+                                                           std::memory_order_relaxed)) {
+    return;  // another stream in this process already warned (soak dedupe)
+  }
   log_warn("swf", "clamped ", stats_.sanitized,
            " job records with nonpositive run time/submit or request below run "
            "time (see docs/workloads.md); pass SwfReadOptions::sanitize=false to "

@@ -119,6 +119,16 @@ class SwfJobStream {
 
   [[nodiscard]] const SwfStreamStats& stats() const noexcept { return stats_; }
 
+  /// Sanitize warnings actually written to the log by this process: 0 or 1.
+  /// The per-stream warn-once contract (stats().sanitize_warnings) is
+  /// unchanged, but the *emission* is deduped process-wide — a soak run
+  /// opens one stream per read and would otherwise repeat the identical
+  /// message per trace per tier.
+  [[nodiscard]] static std::uint64_t sanitize_warnings_emitted() noexcept;
+
+  /// Test hook: re-arm the process-wide emission guard.
+  static void reset_sanitize_warning_guard() noexcept;
+
  private:
   /// Emit the warn-once sanitize message if clamps happened and it has not
   /// fired yet.

@@ -143,10 +143,12 @@ Workload synthesize_like(const TraceInfo& info, double scale, std::uint64_t seed
   return workload;
 }
 
-Workload synthesize_soak(const TraceInfo& info, std::size_t n_jobs, std::uint64_t seed) {
+Workload synthesize_soak(const TraceInfo& info, std::size_t n_jobs, std::uint64_t seed,
+                         double offered_load) {
   if (seed == 0) seed = info.default_seed;
+  const double load = offered_load > 0.0 ? offered_load : info.avg_offered_load;
   Workload workload = synthesize_base(info, /*scale=*/1.0, seed, static_cast<int>(n_jobs),
-                                      /*load_override=*/info.avg_offered_load);
+                                      /*load_override=*/load);
   burstify(workload, info, seed);
   workload.info().name = info.name;
   workload.prepare_for(info.nodes, info.cores_per_node);

@@ -67,9 +67,11 @@ struct TraceInfo {
 /// exactly `n_jobs` jobs at the FULL machine size and the trace's documented
 /// log-wide load — unlike synthesize_like(), whose scale shrinks nodes and
 /// jobs together, and unlike the fixture generator, which floors the load at
-/// a busy window. Deterministic in (info, n_jobs, seed); seed 0 = default.
+/// a busy window. A positive `offered_load` overrides the documented load
+/// (the saturated golden slice over-subscribes Curie this way).
+/// Deterministic in (info, n_jobs, seed, offered_load); seed 0 = default.
 [[nodiscard]] Workload synthesize_soak(const TraceInfo& info, std::size_t n_jobs,
-                                       std::uint64_t seed = 0);
+                                       std::uint64_t seed = 0, double offered_load = 0.0);
 
 struct TraceLoadOptions {
   double scale = 1.0;        ///< synthesis scale; fixtures truncate when < 1

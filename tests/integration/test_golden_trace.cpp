@@ -27,6 +27,7 @@ namespace sdsched {
 namespace {
 
 constexpr const char* kGoldenRelPath = "/golden/curie_trace.golden.json";
+constexpr const char* kSaturatedGoldenRelPath = "/golden/curie_saturated.golden.json";
 
 TEST(GoldenTrace, CurieFixtureSliceMatchesGolden) {
   const PaperWorkload pw = trace_workload("curie", /*scale=*/0.5);
@@ -80,6 +81,83 @@ TEST(GoldenTrace, CurieFixtureSliceMatchesGolden) {
       "Curie trace slice diverged from the committed golden. Per-job records "
       "and summaries must stay byte-identical across refactors; if this PR "
       "intends to change scheduling decisions, regenerate with "
+      "SDSCHED_UPDATE_GOLDEN=1 and justify the diff.");
+}
+
+// The over-subscribed variant: synthesize_soak() at offered load 1.4 on the
+// full 5040-node machine — the saturated regime the guest budget and scan
+// ledger exist for (the bundled fixture stays near load 1, so this slice is
+// the only golden where the wait queue grows without bound). Unlike the
+// other goldens this document pins the SD scan counters too: the ledger's
+// skips are part of the contract here (a skip-condition change that alters
+// how often the proof applies must show up as a reviewed golden diff), and
+// the tight-budget cell pins the deferral schedule, which *is*
+// decision-visible (budget 8 is deliberately below this slice's per-pass
+// shrinkable-guest count; production-like budgets of 64+ are
+// decision-identical to unbounded here, which the parity suite covers).
+TEST(GoldenTrace, CurieSaturatedSliceMatchesGolden) {
+  const TraceInfo* info = find_trace("curie");
+  ASSERT_NE(info, nullptr);
+  const Workload workload =
+      synthesize_soak(*info, /*n_jobs=*/800, /*seed=*/0, /*offered_load=*/1.4);
+  ASSERT_EQ(workload.size(), 800u);
+
+  MachineConfig machine;
+  machine.nodes = info->nodes;
+  machine.node = NodeConfig{info->sockets, info->cores_per_node / info->sockets};
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "sdsched-golden-v1");
+  json.field("grid", "curie saturated synthesis (load 1.4): DynAVGSD unbounded + budget 8");
+  json.field("jobs", static_cast<std::uint64_t>(workload.size()));
+  json.key("cells");
+  json.begin_array();
+
+  std::uint64_t unbounded_rescans = 0;
+  std::uint64_t unbounded_deferrals = 0;
+  std::uint64_t budgeted_deferrals = 0;
+  const auto emit_cell = [&](const std::string& name, int guest_budget) {
+    SimulationConfig cfg = sd_config(machine, CutoffConfig::dynamic_avg());
+    cfg.sd.scan.guest_budget = guest_budget;
+    const SimulationReport report = Simulation(cfg, workload).run();
+    if (guest_budget == 0) {
+      unbounded_rescans = report.sd_rescans_avoided;
+      unbounded_deferrals = report.sd_budget_deferrals;
+    } else {
+      budgeted_deferrals = report.sd_budget_deferrals;
+    }
+    json.begin_object();
+    json.field("name", name);
+    json.key("summary");
+    to_json(json, report.summary);
+    json.field("records", static_cast<std::uint64_t>(report.records.size()));
+    json.field("records_fnv1a", golden::records_digest(report.records));
+    json.field("sd_estimate_rejections", report.sd_estimate_rejections);
+    json.field("sd_selection_failures", report.sd_selection_failures);
+    json.field("sd_rescans_avoided", report.sd_rescans_avoided);
+    json.field("sd_budget_deferrals", report.sd_budget_deferrals);
+    json.end_object();
+  };
+
+  emit_cell("curie-sat/DynAVGSD", /*guest_budget=*/0);
+  emit_cell("curie-sat/DynAVGSD budget8", /*guest_budget=*/8);
+
+  json.end_array();
+  json.end_object();
+
+  // The slice must actually exercise the saturated machinery it pins.
+  EXPECT_GT(unbounded_rescans, 0u)
+      << "saturated slice produced no ledger skips — the regime it pins is gone";
+  EXPECT_EQ(unbounded_deferrals, 0u) << "unbounded cell cannot defer guests";
+  EXPECT_GT(budgeted_deferrals, 0u)
+      << "tight-budget cell never hit the cap — the deferral schedule it pins is gone";
+
+  golden::expect_matches_golden(
+      json.str(), kSaturatedGoldenRelPath,
+      "Curie saturated slice diverged from the committed golden. This slice "
+      "pins SD decisions AND scan counters under offered load > 1; if this PR "
+      "intends to change the budget/ledger behaviour, regenerate with "
       "SDSCHED_UPDATE_GOLDEN=1 and justify the diff.");
 }
 

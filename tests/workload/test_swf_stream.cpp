@@ -152,6 +152,34 @@ TEST(SwfStream, SanitizeWarnsOnceOnAbandonedScan) {
   // observable contract is simply that nothing fired early.
 }
 
+// A soak run opens one stream per (trace, tier) read and every one clamps
+// the same archive rows: the per-stream warn-once counter still ticks on
+// each stream (the stats contract above is unchanged), but the *emission*
+// is deduped process-wide — the second and later clamping streams stay
+// silent instead of repeating an identical message per tier.
+TEST(SwfStream, SanitizeWarningEmissionDedupedAcrossStreams) {
+  constexpr const char* kClampingRow = "1 -5 -1 100 8 -1 -1 8 30 -1 1 5\n";
+  SwfJobStream::reset_sanitize_warning_guard();
+  EXPECT_EQ(SwfJobStream::sanitize_warnings_emitted(), 0u);
+
+  for (int pass = 0; pass < 3; ++pass) {
+    std::istringstream in(kClampingRow);
+    SwfJobStream stream(in, SwfReadOptions{});
+    JobSpec spec;
+    while (stream.next(spec)) {
+    }
+    EXPECT_EQ(stream.stats().sanitized, 1u);
+    EXPECT_EQ(stream.stats().sanitize_warnings, 1u)
+        << "per-stream warn-once contract broke on pass " << pass;
+    EXPECT_EQ(SwfJobStream::sanitize_warnings_emitted(), 1u)
+        << "process-wide dedupe broke on pass " << pass;
+  }
+
+  // The guard re-arms for the next soak run (or test).
+  SwfJobStream::reset_sanitize_warning_guard();
+  EXPECT_EQ(SwfJobStream::sanitize_warnings_emitted(), 0u);
+}
+
 // max_jobs stops the scan where it stands: with a small chunk, the bytes
 // consumed stay near the cap — the remainder of the file (here: rows that
 // would throw if parsed) is never read.
