@@ -42,11 +42,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <vector>
 
 #include "api/simulation.h"
 #include "cluster/cluster_state_index.h"
 #include "cluster/free_node_index.h"
+#include "cluster/shard_layout.h"
+#include "cluster/sharded_cluster_index.h"
+#include "util/thread_pool.h"
 #include "core/mate_registry.h"
 #include "detlint/ruleset.h"
 #include "core/mate_selector.h"
@@ -684,6 +688,120 @@ std::vector<FreePickStats> run_free_pick_study(int node_count, int picks, int fl
   return stats;
 }
 
+// ---------------------------------------------------------------------------
+// --sd-pass --shards=N: the sharded candidate-scan work-split study.
+// ---------------------------------------------------------------------------
+
+struct ShardSweepStats {
+  int nodes = 0;
+  int shards = 0;
+  int selects = 0;
+  double flat_wall_seconds = 0.0;
+  double sharded_wall_seconds = 0.0;
+  std::uint64_t flat_scanned = 0;
+  std::uint64_t max_shard_scanned = 0;
+  std::vector<std::uint64_t> shard_scanned;
+};
+
+/// The mate-selection stage (half-full machine of 2-node mates, cycling
+/// guests), timed twice over the identical select sequence: the serial
+/// flat scan against the per-shard fan-out on the shared worker pool.
+/// Plans are asserted identical select by select, and the per-shard
+/// scanned counters must sum to the flat count exactly — the ordered
+/// shard merge re-examines nothing and drops nothing.
+ShardSweepStats run_shard_sweep_study(int node_count, int selects, int shards,
+                                      double& generate_seconds) {
+  const auto setup_start = std::chrono::steady_clock::now();
+  MachineConfig mc;
+  mc.nodes = node_count;
+  mc.node = NodeConfig{2, 8};  // Curie-shaped: 16 cores per node
+  Machine machine(mc);
+  JobRegistry jobs;
+  DromRegistry drom;
+  NodeManager mgr(machine, jobs, drom);
+  ShardedClusterIndex sharded(machine, jobs, ShardConfig{shards, true});
+
+  const int cores = machine.cores_per_node();
+  const auto add_job = [&](int req_nodes, SimTime req_time) {
+    JobSpec spec;
+    spec.req_cpus = req_nodes * cores;
+    spec.req_nodes = req_nodes;
+    spec.req_time = req_time;
+    spec.base_runtime = req_time;
+    return jobs.add(spec);
+  };
+  // Mates: 2-node running jobs on half the machine — stride-4 pairs so
+  // they tile the whole id space and land in every shard. 16 release waves.
+  const int running = node_count / 4;
+  for (int i = 0; i < running; ++i) {
+    const JobId id = add_job(2, 1000000);
+    jobs.at(id).state = JobState::Running;
+    jobs.at(id).predicted_end = 1000000 + (i % 16) * 1000;
+    mgr.start_static(0, id, {4 * i, 4 * i + 1});
+  }
+  std::vector<JobId> guests;
+  for (const int size : {2, 4, 2, 2, 4, 2}) guests.push_back(add_job(size, 600));
+
+  MateRegistry registry;
+  registry.seed(jobs);
+  SdConfig sd;
+  MateSelector flat_sel(machine, jobs, sd);
+  flat_sel.set_mate_registry(&registry);
+  flat_sel.set_cluster_index(&sharded.flat());
+  MateSelector shard_sel(machine, jobs, sd);
+  shard_sel.set_mate_registry(&registry);
+  shard_sel.set_cluster_index(&sharded.flat());
+  shard_sel.set_shard_context(&sharded, &shard_worker_pool());
+
+  generate_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - setup_start).count();
+
+  const auto run_tier = [&](MateSelector& selector, std::vector<PlanRecord>& plans) {
+    plans.reserve(static_cast<std::size_t>(selects));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < selects; ++s) {
+      const Job& guest = jobs.at(guests[static_cast<std::size_t>(s) % guests.size()]);
+      plans.push_back(PlanRecord::of(selector.select(guest, 1000, 1e18)));
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+  std::vector<PlanRecord> flat_plans;
+  std::vector<PlanRecord> shard_plans;
+  const double flat_wall = run_tier(flat_sel, flat_plans);
+  const double sharded_wall = run_tier(shard_sel, shard_plans);
+  if (flat_plans != shard_plans) {
+    std::fprintf(stderr,
+                 "ERROR: sharded selection diverged from the flat scan at %d nodes, "
+                 "%d shards\n",
+                 node_count, shards);
+    std::exit(1);
+  }
+
+  ShardSweepStats stats;
+  stats.nodes = node_count;
+  stats.shards = shards;
+  stats.selects = selects;
+  stats.flat_wall_seconds = flat_wall;
+  stats.sharded_wall_seconds = sharded_wall;
+  stats.flat_scanned = flat_sel.stats().candidates_scanned;
+  stats.shard_scanned = shard_sel.stats().shard_scanned;
+  for (const std::uint64_t scanned : stats.shard_scanned) {
+    stats.max_shard_scanned = std::max(stats.max_shard_scanned, scanned);
+  }
+  std::uint64_t sum = 0;
+  for (const std::uint64_t scanned : stats.shard_scanned) sum += scanned;
+  if (sum != stats.flat_scanned ||
+      shard_sel.stats().candidates_scanned != stats.flat_scanned) {
+    std::fprintf(stderr,
+                 "ERROR: per-shard scan counters do not partition the flat scan at %d "
+                 "nodes (%llu sharded vs %llu flat)\n",
+                 node_count, static_cast<unsigned long long>(sum),
+                 static_cast<unsigned long long>(stats.flat_scanned));
+    std::exit(1);
+  }
+  return stats;
+}
+
 int run_sd_pass(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const int selects = static_cast<int>(args.get_int("selects", 400));
@@ -692,6 +810,8 @@ int run_sd_pass(int argc, char** argv) {
   const int flips = static_cast<int>(args.get_int("flips", 200000));
   const double freepick_budget_ns =
       static_cast<double>(args.get_int("max-freepick-p95-ns", 0));
+  const int shards = static_cast<int>(args.get_int("shards", 1));
+  const double max_shard_wall_ratio = args.get_double("max-shard-wall-ratio", 0.0);
   const std::string json_path = args.get_or("json", "");
 
   std::printf("mate-selection latency (half-full machine of 2-node mates, %d inert jobs)\n",
@@ -728,6 +848,16 @@ int run_sd_pass(int argc, char** argv) {
     const auto cell = run_free_pick_study(nodes, picks, flips, generate_seconds);
     free_pick.insert(free_pick.end(), cell.begin(), cell.end());
   }
+  // --shards=N: the work-split study. The flat scan and the per-shard
+  // fan-out answer the same selects; parity and the counter partition are
+  // checked inside the study (hard exit on divergence).
+  std::vector<ShardSweepStats> shard_sweep;
+  if (shards > 1) {
+    for (const int nodes : {5040, 50000}) {
+      shard_sweep.push_back(run_shard_sweep_study(nodes, selects, shards,
+                                                  generate_seconds));
+    }
+  }
   const auto study_end = std::chrono::steady_clock::now();
   const double wall = std::chrono::duration<double>(study_end - start).count();
 
@@ -750,6 +880,56 @@ int run_sd_pass(int argc, char** argv) {
   std::printf("\nbitmap is the O(1)-flip word index schedulers use; machine_scan is the\n"
               "raw ordered-set walk (its flips ride inside the allocation path — not\n"
               "measured). Picks are byte-identical across the two tiers.\n");
+
+  // Per-shard split report and gates: sum equality was checked inside the
+  // study; at >= 3 shards no shard may carry more than ~1/3 of the flat
+  // scan (the acceptance split), and the optional wall-ratio gate guards
+  // the multi-core speedup.
+  if (shards > 1) {
+    std::printf("\nsharded candidate scan (%d shards, parallel fan-out on the shared pool)\n",
+                shards);
+    std::printf("%8s %12s %12s %12s %14s %10s\n", "nodes", "flat_scan", "max_shard",
+                "flat_s", "sharded_s", "ratio");
+    for (const auto& s : shard_sweep) {
+      const double ratio = s.flat_wall_seconds > 0.0
+                               ? s.sharded_wall_seconds / s.flat_wall_seconds
+                               : 0.0;
+      std::printf("%8d %12llu %12llu %12.4f %14.4f %10.2f\n", s.nodes,
+                  static_cast<unsigned long long>(s.flat_scanned),
+                  static_cast<unsigned long long>(s.max_shard_scanned),
+                  s.flat_wall_seconds, s.sharded_wall_seconds, ratio);
+      if (shards >= 3 && s.max_shard_scanned * 3 > s.flat_scanned + s.flat_scanned / 10) {
+        std::fprintf(stderr,
+                     "ERROR: at %d nodes one shard scanned %llu of %llu flat candidates "
+                     "— the split never spread the work\n",
+                     s.nodes, static_cast<unsigned long long>(s.max_shard_scanned),
+                     static_cast<unsigned long long>(s.flat_scanned));
+        return 1;
+      }
+    }
+    std::printf("plans are byte-identical across the tiers; per-shard counters sum to\n"
+                "the flat scan exactly.\n");
+    // Wall-clock gate: only meaningful when the host can actually run the
+    // shards concurrently (the 1-core CI sandbox skips it).
+    if (max_shard_wall_ratio > 0.0) {
+      if (ThreadPool::default_concurrency() < static_cast<std::size_t>(shards)) {
+        std::printf("(wall-ratio gate skipped: %zu hardware threads < %d shards)\n",
+                    ThreadPool::default_concurrency(), shards);
+      } else {
+        const ShardSweepStats& largest = shard_sweep.back();
+        const double ratio = largest.sharded_wall_seconds / largest.flat_wall_seconds;
+        if (ratio > max_shard_wall_ratio) {
+          std::fprintf(stderr,
+                       "ERROR: sharded scan wall at %d nodes is %.2fx the flat scan, "
+                       "over the %.2fx budget\n",
+                       largest.nodes, ratio, max_shard_wall_ratio);
+          return 1;
+        }
+        std::printf("shard wall gate: %.2fx <= %.2fx budget at %d nodes\n", ratio,
+                    max_shard_wall_ratio, largest.nodes);
+      }
+    }
+  }
 
   // CI regression guard: the bitmap pick p95 at the largest machine must
   // stay inside the budget (generous — the point is catching a complexity
@@ -789,6 +969,8 @@ int run_sd_pass(int argc, char** argv) {
     json.field("picks", picks);
     json.field("flips", flips);
     json.field("max_freepick_p95_ns", freepick_budget_ns);
+    json.field("shards", shards);
+    json.field("max_shard_wall_ratio", max_shard_wall_ratio);
     json.end_object();
     json.field("wall_seconds", wall);
     json.key("sd_pass");
@@ -819,6 +1001,26 @@ int run_sd_pass(int argc, char** argv) {
       json.end_object();
     }
     json.end_array();
+    if (!shard_sweep.empty()) {
+      json.key("shard_sweep");
+      json.begin_array();
+      for (const auto& s : shard_sweep) {
+        json.begin_object();
+        json.field("nodes", s.nodes);
+        json.field("shards", s.shards);
+        json.field("selects", s.selects);
+        json.field("flat_wall_seconds", s.flat_wall_seconds);
+        json.field("sharded_wall_seconds", s.sharded_wall_seconds);
+        json.field("flat_scanned", s.flat_scanned);
+        json.field("max_shard_scanned", s.max_shard_scanned);
+        json.key("shard_scanned");
+        json.begin_array();
+        for (const std::uint64_t scanned : s.shard_scanned) json.value(scanned);
+        json.end_array();
+        json.end_object();
+      }
+      json.end_array();
+    }
     write_phase_tail(json, generate_seconds, wall - generate_seconds,
                      std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                    study_end)
@@ -858,7 +1060,7 @@ struct SdSaturationStats {
 /// about nothing being startable.
 SdSaturationStats run_sd_saturation_cell(const char* label, int node_count, int depth,
                                          int passes, bool bounded, int guest_budget,
-                                         double& generate_seconds) {
+                                         double& generate_seconds, int shards = 1) {
   const auto setup_start = std::chrono::steady_clock::now();
   MachineConfig mc;
   mc.nodes = node_count;
@@ -867,7 +1069,15 @@ SdSaturationStats run_sd_saturation_cell(const char* label, int node_count, int 
   JobRegistry jobs;
   DromRegistry drom;
   NodeManager mgr(machine, jobs, drom);
-  ClusterStateIndex index(machine, jobs);
+  // One observer slot on the Machine: flat index OR the sharded
+  // coordinator, never both.
+  std::optional<ClusterStateIndex> index;
+  std::optional<ShardedClusterIndex> sharded;
+  if (shards > 1) {
+    sharded.emplace(machine, jobs, ShardConfig{shards, true});
+  } else {
+    index.emplace(machine, jobs);
+  }
 
   const int cores = machine.cores_per_node();
   const auto add_job = [&](int req_nodes, SimTime req_time) {
@@ -894,7 +1104,11 @@ SdSaturationStats run_sd_saturation_cell(const char* label, int node_count, int 
   sd.scan.guest_budget = bounded ? guest_budget : 0;
   NoStartExecutor executor;
   SdPolicyScheduler scheduler(machine, jobs, executor, sched, sd);
-  scheduler.set_cluster_index(&index);
+  if (sharded) {
+    scheduler.set_sharded_index(&*sharded);
+  } else {
+    scheduler.set_cluster_index(&*index);
+  }
 
   // The saturated queue: `depth` pending 3-node guests.
   for (int q = 0; q < depth; ++q) scheduler.on_submit(add_job(3, 600));
@@ -931,6 +1145,7 @@ int run_sd_saturation(int argc, char** argv) {
   const int passes = static_cast<int>(args.get_int("sd-sat-passes", 4));
   const int guest_budget = static_cast<int>(args.get_int("sd-guest-budget", 64));
   const double max_ratio = args.get_double("max-sd-saturation-ratio", 0.0);
+  const int shards = static_cast<int>(args.get_int("shards", 1));
   const std::string json_path = args.get_or("json", "");
 
   // Comma-separated queue depths, ascending.
@@ -952,7 +1167,7 @@ int run_sd_saturation(int argc, char** argv) {
   std::printf("full SD pass latency under saturation (%d nodes full of 2-node mates,\n"
               "queue of 3-node guests with no feasible mate combination)\n",
               nodes);
-  std::printf("%-10s %9s %12s %12s %10s %10s %10s %10s\n", "case", "depth", "p50(ns)",
+  std::printf("%-17s %9s %12s %12s %10s %10s %10s %10s\n", "case", "depth", "p50(ns)",
               "p95(ns)", "est_rej", "sel_fail", "skipped", "deferred");
 
   const auto start = std::chrono::steady_clock::now();
@@ -961,6 +1176,11 @@ int run_sd_saturation(int argc, char** argv) {
   for (const int depth : depths) {
     all.push_back(run_sd_saturation_cell("budgeted", nodes, depth, passes, true,
                                          guest_budget, generate_seconds));
+    if (shards > 1) {
+      all.push_back(run_sd_saturation_cell("budgeted_sharded", nodes, depth, passes,
+                                           true, guest_budget, generate_seconds,
+                                           shards));
+    }
     all.push_back(run_sd_saturation_cell("naive", nodes, depth, passes, false, 0,
                                          generate_seconds));
   }
@@ -968,7 +1188,7 @@ int run_sd_saturation(int argc, char** argv) {
   const double wall = std::chrono::duration<double>(study_end - start).count();
 
   for (const auto& s : all) {
-    std::printf("%-10s %9d %12.0f %12.0f %10llu %10llu %10llu %10llu\n", s.label.c_str(),
+    std::printf("%-17s %9d %12.0f %12.0f %10llu %10llu %10llu %10llu\n", s.label.c_str(),
                 s.depth, s.p50_ns, s.p95_ns,
                 static_cast<unsigned long long>(s.estimate_rejections),
                 static_cast<unsigned long long>(s.selection_failures),
@@ -989,6 +1209,33 @@ int run_sd_saturation(int argc, char** argv) {
                    "failed-select ledger is not engaging\n",
                    s.depth);
       return 1;
+    }
+  }
+
+  // Sharded parity gate: the sharded budgeted tier must reach byte-identical
+  // decisions — every decision counter equal to the flat budgeted cell at
+  // the same depth (the ordered shard merge re-examines nothing).
+  if (shards > 1) {
+    const auto budgeted_at = [&all](const char* label, int depth) -> const SdSaturationStats* {
+      for (const auto& s : all) {
+        if (s.label == label && s.depth == depth) return &s;
+      }
+      return nullptr;
+    };
+    for (const int depth : depths) {
+      const SdSaturationStats* flat = budgeted_at("budgeted", depth);
+      const SdSaturationStats* shd = budgeted_at("budgeted_sharded", depth);
+      if (flat == nullptr || shd == nullptr) continue;
+      if (flat->estimate_rejections != shd->estimate_rejections ||
+          flat->selection_failures != shd->selection_failures ||
+          flat->rescans_avoided != shd->rescans_avoided ||
+          flat->budget_deferrals != shd->budget_deferrals) {
+        std::fprintf(stderr,
+                     "ERROR: sharded budgeted cell at depth %d diverged from the flat "
+                     "budgeted decisions (%d shards)\n",
+                     depth, shards);
+        return 1;
+      }
     }
   }
 
@@ -1027,6 +1274,7 @@ int run_sd_saturation(int argc, char** argv) {
     json.field("passes", passes);
     json.field("sd_guest_budget", guest_budget);
     json.field("max_sd_saturation_ratio", max_ratio);
+    json.field("shards", shards);
     json.end_object();
     json.field("wall_seconds", wall);
     json.key("sd_saturation");

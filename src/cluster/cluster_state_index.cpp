@@ -6,8 +6,9 @@
 
 namespace sdsched {
 
-ClusterStateIndex::ClusterStateIndex(Machine& machine, const JobRegistry& jobs)
-    : machine_(machine), jobs_(jobs) {
+ClusterStateIndex::ClusterStateIndex(Machine& machine, const JobRegistry& jobs,
+                                     bool attach_observer)
+    : machine_(machine), jobs_(jobs), attached_(attach_observer) {
   const int nodes = machine_.node_count();
   node_free_at_.assign(static_cast<std::size_t>(nodes), kEmptyNode);
   node_class_.resize(static_cast<std::size_t>(nodes));
@@ -38,10 +39,12 @@ ClusterStateIndex::ClusterStateIndex(Machine& machine, const JobRegistry& jobs)
   // Index whatever is already running (warm-start scenarios attach to a
   // populated machine).
   for (int id = 0; id < nodes; ++id) refresh_node(id);
-  machine_.set_observer(this);
+  if (attached_) machine_.set_observer(this);
 }
 
-ClusterStateIndex::~ClusterStateIndex() { machine_.set_observer(nullptr); }
+ClusterStateIndex::~ClusterStateIndex() {
+  if (attached_) machine_.set_observer(nullptr);
+}
 
 SimTime ClusterStateIndex::scan_free_at(int node_id) const {
   const Node& node = machine_.node(node_id);

@@ -77,6 +77,15 @@ class FreeNodeIndex {
                                                      const std::vector<int>& classes,
                                                      bool contiguous) const;
 
+  /// Shard-local slice of the non-contiguous pick: append to `out` up to
+  /// `count` lowest free ids whose class is listed in `classes` and whose
+  /// word index falls in [word_begin, word_end) — whole words only, the
+  /// ShardLayout guarantees shard boundaries are word-aligned. Returns the
+  /// number appended. Walking word ranges in ascending order reproduces
+  /// pick()'s global lowest-first order exactly (the ordered shard merge).
+  int pick_in_words(std::size_t word_begin, std::size_t word_end, int count,
+                    const std::vector<int>& classes, std::vector<int>& out) const;
+
   /// One class's free runs, derived from the bitmap on demand — test and
   /// diagnostic surface only (the hot paths never materialize runs).
   [[nodiscard]] std::map<int, int> runs_of_class(int cls) const;

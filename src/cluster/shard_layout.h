@@ -1,0 +1,93 @@
+// Node-id-contiguous shard partition of a machine (ROADMAP "Sharded
+// hierarchical scheduling").
+//
+// A shard is a contiguous range of node ids, word-aligned to the 64-bit
+// words of the FreeNodeIndex bitmap (free_node_index.h documents the
+// layout as shard-friendly for exactly this): shard s owns bitmap words
+// [ceil(s·W/S), ceil((s+1)·W/S)) of the W = ceil(nodes/64) words, and
+// therefore nodes [64·word_begin(s), min(nodes, 64·word_end(s))). Word
+// alignment means a shard-local free-node scan reads whole words with no
+// partial-word masking, and the balanced ceil split keeps shard sizes
+// within one word of each other. Shard counts beyond W produce empty
+// trailing shards (harmless: every per-shard loop skips them in O(1)).
+//
+// Because shards ascend with node id, walking shards 0..S-1 and taking
+// lowest-first picks inside each concatenates to exactly the global
+// lowest-first order — the invariant the deterministic ordered shard
+// merge rests on (docs/determinism.md "Ordered shard merge").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sdsched {
+
+/// How a Simulation shards its scheduler state (SimulationConfig::shards).
+struct ShardConfig {
+  /// Node-contiguous shards. 1 (the default) keeps the historical flat
+  /// behaviour; any count produces byte-identical decisions.
+  int count = 1;
+  /// Fan per-shard work (candidate scans) onto the process-wide shared
+  /// worker pool (util/thread_pool.h shard_worker_pool()). Decisions are
+  /// identical to the serial sharded walk; only wall-clock changes.
+  bool parallel = false;
+};
+
+class ShardLayout {
+ public:
+  ShardLayout() = default;
+
+  ShardLayout(int node_count, int shard_count)
+      : node_count_(node_count < 0 ? 0 : node_count) {
+    if (shard_count < 1) shard_count = 1;
+    const std::size_t words =
+        (static_cast<std::size_t>(node_count_) + 63) / 64;
+    const auto shards = static_cast<std::size_t>(shard_count);
+    word_begin_.resize(shards + 1);
+    for (std::size_t s = 0; s <= shards; ++s) {
+      word_begin_[s] = (s * words + shards - 1) / shards;
+    }
+    word_begin_[shards] = words;  // exact by construction; pin anyway
+    word_to_shard_.resize(words);
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t w = word_begin_[s]; w < word_begin_[s + 1]; ++w) {
+        word_to_shard_[w] = static_cast<int>(s);
+      }
+    }
+  }
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return word_begin_.empty() ? 1 : static_cast<int>(word_begin_.size() - 1);
+  }
+  [[nodiscard]] int node_count() const noexcept { return node_count_; }
+
+  /// First bitmap word owned by shard `s`; word_end(s) == word_begin(s+1).
+  [[nodiscard]] std::size_t word_begin(int s) const {
+    return word_begin_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::size_t word_end(int s) const {
+    return word_begin_[static_cast<std::size_t>(s) + 1];
+  }
+
+  /// First node id owned by shard `s` (== node_end(s-1): shards tile the
+  /// id space in ascending order with no gaps).
+  [[nodiscard]] int node_begin(int s) const {
+    return static_cast<int>(word_begin(s) * 64);
+  }
+  [[nodiscard]] int node_end(int s) const {
+    const auto end = static_cast<int>(word_end(s) * 64);
+    return end < node_count_ ? end : node_count_;
+  }
+
+  /// The shard owning node `id` — O(1) via the word → shard table.
+  [[nodiscard]] int shard_of(int id) const {
+    return word_to_shard_[static_cast<std::size_t>(id) >> 6];
+  }
+
+ private:
+  int node_count_ = 0;
+  std::vector<std::size_t> word_begin_;  ///< size shard_count()+1
+  std::vector<int> word_to_shard_;       ///< size ceil(node_count/64)
+};
+
+}  // namespace sdsched

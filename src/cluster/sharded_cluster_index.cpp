@@ -1,0 +1,246 @@
+#include "cluster/sharded_cluster_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace sdsched {
+
+ShardedClusterIndex::ShardedClusterIndex(Machine& machine, const JobRegistry& jobs,
+                                         ShardConfig config)
+    : machine_(machine),
+      jobs_(jobs),
+      flat_(machine, jobs, /*attach_observer=*/false),
+      layout_(machine.node_count(), config.count),
+      parallel_(config.parallel) {
+  const auto classes = static_cast<std::size_t>(flat_.class_count());
+  shards_.resize(static_cast<std::size_t>(layout_.shard_count()));
+  for (Shard& shard : shards_) {
+    shard.class_free.assign(classes, 0);
+    shard.class_busy.resize(classes);
+  }
+  // Seed the shard aggregates from the flat index's freshly built view
+  // (warm-start scenarios attach to a populated machine).
+  for (int id = 0; id < machine_.node_count(); ++id) {
+    Shard& shard = shards_[static_cast<std::size_t>(layout_.shard_of(id))];
+    const auto cls = static_cast<std::size_t>(
+        flat_.node_class_[static_cast<std::size_t>(id)]);
+    const SimTime at = flat_.node_free_at_[static_cast<std::size_t>(id)];
+    if (at == ClusterStateIndex::kEmptyNode) {
+      ++shard.free_total;
+      ++shard.class_free[cls];
+    } else {
+      ++shard.occupied;
+      ++shard.busy[at];
+      ++shard.class_busy[cls][at];
+    }
+  }
+  machine_.set_observer(this);
+}
+
+ShardedClusterIndex::~ShardedClusterIndex() { machine_.set_observer(nullptr); }
+
+void ShardedClusterIndex::route_refresh(int node_id) {
+  const auto uid = static_cast<std::size_t>(node_id);
+  const SimTime before = flat_.node_free_at_[uid];
+  flat_.refresh_node(node_id);
+  const SimTime after = flat_.node_free_at_[uid];
+  if (before == after) return;
+
+  Shard& shard = shards_[static_cast<std::size_t>(layout_.shard_of(node_id))];
+  const auto cls = static_cast<std::size_t>(flat_.node_class_[uid]);
+  if (before == ClusterStateIndex::kEmptyNode) {
+    --shard.free_total;
+    --shard.class_free[cls];
+  } else {
+    const auto it = shard.busy.find(before);
+    assert(it != shard.busy.end() && "shard free_at missing from release map");
+    if (it != shard.busy.end() && --it->second == 0) shard.busy.erase(it);
+    auto& class_map = shard.class_busy[cls];
+    const auto cit = class_map.find(before);
+    assert(cit != class_map.end() && "shard free_at missing from class release map");
+    if (cit != class_map.end() && --cit->second == 0) class_map.erase(cit);
+    --shard.occupied;
+  }
+  if (after == ClusterStateIndex::kEmptyNode) {
+    ++shard.free_total;
+    ++shard.class_free[cls];
+  } else {
+    ++shard.busy[after];
+    ++shard.class_busy[cls][after];
+    ++shard.occupied;
+  }
+}
+
+void ShardedClusterIndex::on_node_occupancy_changed(int node_id) {
+  ++flat_.mutation_serial_;
+  route_refresh(node_id);
+}
+
+void ShardedClusterIndex::on_predicted_end_changed(JobId job) {
+  ++flat_.mutation_serial_;
+  for (const NodeShare& share : jobs_.at(job).shares) {
+    route_refresh(share.node);
+  }
+}
+
+int ShardedClusterIndex::shard_eligible_free_count(int s, std::uint64_t mask) const {
+  const Shard& shard = shards_[static_cast<std::size_t>(s)];
+  int free = 0;
+  for (std::size_t c = 0; c < shard.class_free.size(); ++c) {
+    if ((mask >> c) & 1u) free += shard.class_free[c];
+  }
+  return free;
+}
+
+std::optional<std::vector<int>> ShardedClusterIndex::find_free_nodes(
+    int count, const JobConstraints* constraints) const {
+  assert(count >= 1);
+  const auto sharded_pick = [&]() -> std::optional<std::vector<int>> {
+    // Mirror the flat early-outs exactly: global free count first, then
+    // the eligible-free count for constrained requests.
+    if (count > flat_.free_runs_.free_count()) return std::nullopt;
+    const std::vector<int>* eligible = &flat_.all_classes_;
+    std::vector<int> constrained_classes;
+    if (constraints != nullptr && !constraints->unconstrained()) {
+      constrained_classes.reserve(flat_.classes_.size());
+      int eligible_free = 0;
+      for (std::size_t c = 0; c < flat_.classes_.size(); ++c) {
+        if (node_satisfies(flat_.classes_[c].attributes, *constraints)) {
+          constrained_classes.push_back(static_cast<int>(c));
+          eligible_free += flat_.classes_[c].free;
+        }
+      }
+      if (eligible_free < count) return std::nullopt;
+      if (constraints->contiguous) {
+        // An adequate run can cross shard boundaries and per-shard counts
+        // cannot prune the search: the flat run-carry walk is the merge.
+        return flat_.free_runs_.pick(count, constrained_classes, /*contiguous=*/true);
+      }
+      eligible = &constrained_classes;
+    }
+    // Ordered shard merge: shards tile the id space in ascending order, so
+    // lowest-first picks inside successive shards concatenate to exactly
+    // the flat lowest-first answer. The aggregate check skips a shard with
+    // nothing eligible in O(classes) without touching its bitmap words.
+    std::vector<int> picked;
+    picked.reserve(static_cast<std::size_t>(count));
+    const bool filtered = eligible != &flat_.all_classes_;
+    for (int s = 0; s < shard_count(); ++s) {
+      const Shard& shard = shards_[static_cast<std::size_t>(s)];
+      if (shard.free_total == 0) continue;
+      if (filtered) {
+        int shard_eligible = 0;
+        for (const int cls : *eligible) {
+          shard_eligible += shard.class_free[static_cast<std::size_t>(cls)];
+        }
+        if (shard_eligible == 0) continue;
+      }
+      const int remaining = count - static_cast<int>(picked.size());
+      flat_.free_runs_.pick_in_words(layout_.word_begin(s), layout_.word_end(s),
+                                     remaining, *eligible, picked);
+      if (static_cast<int>(picked.size()) == count) return picked;
+    }
+    // The early-outs above guaranteed enough eligible free nodes exist.
+    assert(false && "shard merge found fewer free nodes than the aggregates promised");
+    return std::nullopt;
+  };
+#ifdef SDSCHED_INDEX_CROSSCHECK
+  const auto merged = sharded_pick();
+  const auto flat = flat_.find_free_nodes(count, constraints);
+  assert(merged == flat && "ordered shard merge diverged from the flat pick");
+  return merged;
+#else
+  return sharded_pick();
+#endif
+}
+
+void ShardedClusterIndex::busy_groups_sharded(
+    SimTime now, std::vector<std::pair<SimTime, int>>& out) const {
+  // Ordered merge of the shards' release maps: summing per release time in
+  // fixed shard order reassembles the flat busy_counts_ multiset exactly
+  // (each occupied node lives in exactly one shard). Same overdue clamping
+  // as the flat walk.
+  std::map<SimTime, int> merged;
+  for (const Shard& shard : shards_) {
+    for (const auto& [free_at, nodes] : shard.busy) merged[free_at] += nodes;
+  }
+  out.clear();
+  auto it = merged.begin();
+  int overdue = 0;
+  for (; it != merged.end() && it->first <= now + 1; ++it) overdue += it->second;
+  if (overdue > 0) out.emplace_back(now + 1, overdue);
+  for (; it != merged.end(); ++it) out.emplace_back(it->first, it->second);
+#ifdef SDSCHED_INDEX_CROSSCHECK
+  std::vector<std::pair<SimTime, int>> flat_groups;
+  flat_.busy_groups(now, flat_groups);
+  assert(out == flat_groups && "sharded release-group merge diverged from flat");
+#endif
+}
+
+void ShardedClusterIndex::busy_groups_for_mask_sharded(
+    std::uint64_t mask, SimTime now, std::vector<std::pair<SimTime, int>>& out) const {
+  std::map<SimTime, int> merged;
+  for (const Shard& shard : shards_) {
+    for (std::size_t c = 0; c < shard.class_busy.size(); ++c) {
+      if (((mask >> c) & 1u) == 0) continue;
+      for (const auto& [free_at, nodes] : shard.class_busy[c]) {
+        merged[free_at] += nodes;
+      }
+    }
+  }
+  out.clear();
+  auto it = merged.begin();
+  int overdue = 0;
+  for (; it != merged.end() && it->first <= now + 1; ++it) overdue += it->second;
+  if (overdue > 0) out.emplace_back(now + 1, overdue);
+  for (; it != merged.end(); ++it) out.emplace_back(it->first, it->second);
+#ifdef SDSCHED_INDEX_CROSSCHECK
+  std::vector<std::pair<SimTime, int>> flat_groups;
+  flat_.busy_groups_for_mask(mask, now, flat_groups);
+  assert(out == flat_groups && "sharded class release-group merge diverged from flat");
+#endif
+}
+
+bool ShardedClusterIndex::check_consistent(std::string* diagnosis) const {
+  const auto fail = [diagnosis](const std::string& what) {
+    if (diagnosis != nullptr) *diagnosis = what;
+    return false;
+  };
+  if (!flat_.check_consistent(diagnosis)) return false;
+
+  // Re-derive every shard aggregate from the (just verified) flat view.
+  std::vector<Shard> expect(shards_.size());
+  for (Shard& shard : expect) {
+    shard.class_free.assign(static_cast<std::size_t>(flat_.class_count()), 0);
+    shard.class_busy.resize(static_cast<std::size_t>(flat_.class_count()));
+  }
+  for (int id = 0; id < machine_.node_count(); ++id) {
+    Shard& shard = expect[static_cast<std::size_t>(layout_.shard_of(id))];
+    const auto cls = static_cast<std::size_t>(
+        flat_.node_class_[static_cast<std::size_t>(id)]);
+    const SimTime at = flat_.node_free_at_[static_cast<std::size_t>(id)];
+    if (at == ClusterStateIndex::kEmptyNode) {
+      ++shard.free_total;
+      ++shard.class_free[cls];
+    } else {
+      ++shard.occupied;
+      ++shard.busy[at];
+      ++shard.class_busy[cls][at];
+    }
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& have = shards_[s];
+    const Shard& want = expect[s];
+    if (have.free_total != want.free_total || have.occupied != want.occupied ||
+        have.class_free != want.class_free || have.busy != want.busy ||
+        have.class_busy != want.class_busy) {
+      std::ostringstream oss;
+      oss << "shard " << s << " aggregates diverged from the flat scan";
+      return fail(oss.str());
+    }
+  }
+  return true;
+}
+
+}  // namespace sdsched

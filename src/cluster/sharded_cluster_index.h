@@ -1,0 +1,149 @@
+// Sharded scheduler state: node-id-contiguous shards fronted by a
+// coordinator, decisions committed through a deterministic ordered shard
+// merge (ROADMAP "Sharded hierarchical scheduling for 50K+ node machines").
+//
+// The coordinator owns the flat ClusterStateIndex — constructed without
+// claiming the machine's observer slot — and registers *itself* as the
+// Machine observer. Every notification is routed through the flat index
+// (which stays the byte-exact parity surface schedulers already consume)
+// while the per-node free_at transition it causes is mirrored into the
+// owning shard's aggregates:
+//
+//  * per-shard free-node totals and per-attribute-class free counts (the
+//    aggregate a pass reads to skip a shard in O(1));
+//  * per-shard (free_at -> node count) release maps, overall and per
+//    class — each shard's slice of the reservation-profile base, merged
+//    in shard order into the same groups the flat walk produces;
+//  * per-shard earliest release (the coordinator-level "when does this
+//    shard free up" probe the hierarchical-scheduling papers negotiate
+//    with).
+//
+// The shard boundaries are word-aligned to the FreeNodeIndex bitmap
+// (cluster/shard_layout.h), so a shard-local free-node pick reads whole
+// words of the flat bitmap with no masking and no duplicated state.
+//
+// Determinism: shards ascend with node id and every merge walks shards in
+// fixed 0..S-1 order with the flat walk's own tie-breaks, so every answer
+// is byte-identical to the flat index at every shard count (the proof
+// lives in docs/determinism.md "Ordered shard merge"). Under
+// SDSCHED_INDEX_CROSSCHECK every sharded answer is additionally compared
+// against the flat computation at runtime, and check_consistent()
+// re-derives all shard aggregates from a flat scan.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_state_index.h"
+#include "cluster/machine.h"
+#include "cluster/shard_layout.h"
+#include "job/job_registry.h"
+
+namespace sdsched {
+
+class ShardedClusterIndex final : public MachineObserver {
+ public:
+  /// Indexes `machine`'s current state into `config.count` shards and
+  /// takes the machine's observer slot (the owned flat index does not).
+  ShardedClusterIndex(Machine& machine, const JobRegistry& jobs,
+                      ShardConfig config = {});
+  ~ShardedClusterIndex() override;
+
+  ShardedClusterIndex(const ShardedClusterIndex&) = delete;
+  ShardedClusterIndex& operator=(const ShardedClusterIndex&) = delete;
+
+  // MachineObserver: route through the flat index, then mirror the
+  // free_at transition into the owning shard.
+  void on_node_occupancy_changed(int node_id) override;
+
+  /// `job`'s predicted end moved (mate stretching): refresh and re-shard
+  /// every node the job holds.
+  void on_predicted_end_changed(JobId job);
+
+  /// The flat parity surface (versions, class masks, busy_groups, …).
+  /// Schedulers keep consuming this exact API; the sharded layer adds
+  /// aggregates and merge-based answers on top.
+  [[nodiscard]] const ClusterStateIndex& flat() const noexcept { return flat_; }
+
+  [[nodiscard]] const ShardLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  /// Fan per-shard work onto the shared worker pool (ShardConfig::parallel).
+  [[nodiscard]] bool parallel() const noexcept { return parallel_; }
+
+  // --- per-shard aggregates (the coordinator's negotiation surface) ---
+
+  /// No occupied node in the shard: shard_earliest_release's "never".
+  static constexpr SimTime kNoRelease = std::numeric_limits<SimTime>::max();
+
+  [[nodiscard]] int shard_free_count(int s) const {
+    return shards_[static_cast<std::size_t>(s)].free_total;
+  }
+  [[nodiscard]] int shard_occupied_count(int s) const {
+    return shards_[static_cast<std::size_t>(s)].occupied;
+  }
+  /// Free nodes in shard `s` whose attribute class is set in `mask`
+  /// (ClusterStateIndex::eligible_class_mask) — O(classes in mask).
+  [[nodiscard]] int shard_eligible_free_count(int s, std::uint64_t mask) const;
+  /// Earliest free_at among shard `s`'s occupied nodes, kNoRelease when
+  /// the shard is entirely free.
+  [[nodiscard]] SimTime shard_earliest_release(int s) const {
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    return shard.busy.empty() ? kNoRelease : shard.busy.begin()->first;
+  }
+
+  // --- ordered shard merges (byte-identical to the flat answers) ---
+
+  /// Flat-identical free-node pick assembled shard by shard: walk shards
+  /// in ascending order, skip shards whose eligible-free aggregate is
+  /// zero, take lowest-first ids inside each from the shard's bitmap
+  /// words. Contiguous requests delegate to the flat walk (an adequate
+  /// run may cross shard boundaries, and per-shard counts cannot prune
+  /// it). Crosschecked against the flat pick under
+  /// SDSCHED_INDEX_CROSSCHECK.
+  [[nodiscard]] std::optional<std::vector<int>> find_free_nodes(
+      int count, const JobConstraints* constraints = nullptr) const;
+
+  /// ClusterStateIndex::busy_groups assembled by merging the shards'
+  /// release maps in shard order (same overdue clamping). The base
+  /// snapshot of a sharded pass profile.
+  void busy_groups_sharded(SimTime now,
+                           std::vector<std::pair<SimTime, int>>& out) const;
+
+  /// busy_groups_for_mask over the shards' per-class release maps — the
+  /// base of a sharded per-class profile layer.
+  void busy_groups_for_mask_sharded(std::uint64_t mask, SimTime now,
+                                    std::vector<std::pair<SimTime, int>>& out) const;
+
+  /// Flat consistency first, then every shard aggregate re-derived from a
+  /// flat scan, then the merged release groups against the flat ones.
+  [[nodiscard]] bool check_consistent(std::string* diagnosis = nullptr) const;
+
+ private:
+  struct Shard {
+    int free_total = 0;               ///< free nodes in the shard
+    int occupied = 0;                 ///< occupied nodes in the shard
+    std::vector<int> class_free;      ///< free nodes per attribute class
+    std::map<SimTime, int> busy;      ///< free_at -> occupied count
+    std::vector<std::map<SimTime, int>> class_busy;  ///< per attribute class
+  };
+
+  /// Refresh one node through the flat index and mirror the free_at
+  /// transition into its shard's aggregates.
+  void route_refresh(int node_id);
+
+  Machine& machine_;
+  const JobRegistry& jobs_;
+  ClusterStateIndex flat_;
+  ShardLayout layout_;
+  std::vector<Shard> shards_;
+  bool parallel_ = false;
+};
+
+}  // namespace sdsched

@@ -41,6 +41,8 @@ namespace sdsched {
 
 class ClusterStateIndex;
 class MateRegistry;
+class ShardedClusterIndex;
+class ThreadPool;
 
 class MateSelector {
  public:
@@ -52,6 +54,22 @@ class MateSelector {
 
   /// Resolve free-node picks through the index instead of the machine scan.
   void set_cluster_index(const ClusterStateIndex* index) noexcept { index_ = index; }
+
+  /// Shard the candidate scan: with a registry attached and more than one
+  /// shard, collect_candidates partitions the eligible-mate ids by the
+  /// shard owning each mate's anchor node and examines the shards
+  /// independently — on `pool` when given (per-shard tasks are leaves,
+  /// never submitting further work), inline in shard order otherwise.
+  /// The per-shard results are concatenated in fixed shard order and
+  /// sorted by the same strict (penalty, id) total order as the flat
+  /// walk, so the candidate list — and therefore every plan — is
+  /// byte-identical at every shard count, with or without the pool.
+  /// Free-node picks inside select() route through the sharded ordered
+  /// merge as well.
+  void set_shard_context(const ShardedClusterIndex* sharded, ThreadPool* pool) noexcept {
+    sharded_ = sharded;
+    shard_pool_ = pool;
+  }
 
   /// `job` finished: free its cached budget storage. Keeps the cache's heap
   /// footprint proportional to the *running* population instead of every
@@ -79,6 +97,11 @@ class MateSelector {
     std::uint64_t candidates_scanned = 0;      ///< jobs examined for the mate role
     std::uint64_t combinations_evaluated = 0;  ///< DFS leaf evaluations
     std::uint64_t plans_found = 0;             ///< selects that produced a plan
+    std::uint64_t sharded_selects = 0;         ///< selects that used the shard path
+    /// Candidates examined per shard (cumulative; sums to the sharded
+    /// selects' share of candidates_scanned) — the work-split evidence
+    /// `micro_scheduler --sd-pass --shards=` reports.
+    std::vector<std::uint64_t> shard_scanned;
   };
   [[nodiscard]] const SelectStats& stats() const noexcept { return stats_; }
 
@@ -138,6 +161,15 @@ class MateSelector {
   [[nodiscard]] std::vector<Candidate> collect_candidates(const Job& guest, SimTime now,
                                                           double max_slowdown,
                                                           SimTime guest_runtime) const;
+  /// The sharded scan behind collect_candidates: partition the registry's
+  /// eligible-mate ids by shard, examine per shard (on the pool when one
+  /// is attached), merge in fixed shard order.
+  void collect_sharded(const Job& guest, SimTime now, double max_slowdown,
+                       SimTime quick_d0, int u_max,
+                       std::vector<Candidate>& candidates) const;
+  /// Examine one candidate (thread-safe across *distinct* jobs: writes
+  /// only the job's own budget-cache slot and `out` — counters are the
+  /// caller's responsibility, so shard tasks can run concurrently).
   void examine_candidate(const Job& job, const Job& guest, SimTime now,
                          double max_slowdown, SimTime quick_d0, int u_max,
                          std::vector<Candidate>& out) const;
@@ -155,8 +187,12 @@ class MateSelector {
   const SdConfig& config_;
   const MateRegistry* registry_ = nullptr;
   const ClusterStateIndex* index_ = nullptr;
+  const ShardedClusterIndex* sharded_ = nullptr;
+  ThreadPool* shard_pool_ = nullptr;
   mutable SelectStats stats_;
   mutable ScanSummary last_scan_;
+  /// Per-shard id partitions, reused across selects (allocation reuse).
+  mutable std::vector<std::vector<JobId>> shard_mates_;
   /// Indexed by JobId; sized to the job registry at the start of a collect,
   /// so entries (and the pointers Candidates take into them) stay put for
   /// the whole select. Budgets are reused across selects and passes while

@@ -8,8 +8,10 @@
 
 #include "api/report.h"
 #include "cluster/cluster_state_index.h"
+#include "cluster/sharded_cluster_index.h"
 #include "core/estimator.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sdsched {
 
@@ -42,6 +44,15 @@ SdPolicyScheduler::SdPolicyScheduler(Machine& machine, JobRegistry& jobs,
   selector_.set_mate_registry(&mate_registry_);
 }
 
+void SdPolicyScheduler::set_sharded_index(const ShardedClusterIndex* sharded) noexcept {
+  // The base forwards the flat parity surface through set_cluster_index
+  // (virtual — lands in our override above, so the selector gets it too).
+  BackfillScheduler::set_sharded_index(sharded);
+  const bool parallel = sharded != nullptr && sharded->parallel() &&
+                        sharded->shard_count() > 1;
+  selector_.set_shard_context(sharded, parallel ? &shard_worker_pool() : nullptr);
+}
+
 void SdPolicyScheduler::schedule_pass(SimTime now) {
 #ifdef SDSCHED_INDEX_CROSSCHECK
   std::string diagnosis;
@@ -50,7 +61,21 @@ void SdPolicyScheduler::schedule_pass(SimTime now) {
   assert(consistent && "MateRegistry diverged from the job scan");
 #endif
   guests_considered_ = 0;
+  pass_guests_seen_ = 0;
+  rotate_skip_ = 0;
+  const bool rotating = sd_config_.scan.slice == SliceKind::kRotate &&
+                        sd_config_.scan.guest_budget > 0;
+  if (rotating) {
+    // Wrap once the window would start past the guests the previous pass
+    // saw — every waiting guest falls inside some window of the cycle.
+    if (slice_offset_ >= last_pass_seen_) slice_offset_ = 0;
+    rotate_skip_ = slice_offset_;
+  }
   BackfillScheduler::schedule_pass(now);
+  if (rotating) {
+    last_pass_seen_ = pass_guests_seen_;
+    slice_offset_ += sd_config_.scan.guest_budget;
+  }
 }
 
 void SdPolicyScheduler::annotate(SimulationReport& report) const {
@@ -91,16 +116,26 @@ bool SdPolicyScheduler::try_malleable(SimTime now, Job& job, SimTime est_start,
                                       ReservationProfile& profile) {
   if (!job.can_start_shrunk()) return false;
 
-  // Top-K head-of-queue slice: the budget counts guests *considered* —
-  // estimate rejections, ledger skips and real mate searches all take a
-  // slot — so a bounded pass sees a pure prefix of the priority order and
-  // the ledger can never change which guests reach this point.
-  if (sd_config_.scan.guest_budget > 0 &&
-      guests_considered_ >= sd_config_.scan.guest_budget) {
-    ++budget_deferrals_;
-    return false;
+  // Top-K slice: the budget counts guests *considered* — estimate
+  // rejections, ledger skips and real mate searches all take a slot — so a
+  // bounded pass sees a contiguous window of the priority order (a pure
+  // prefix under SliceKind::kPrefix; kRotate starts the window where the
+  // previous pass's ended) and the ledger can never change which guests
+  // reach this point.
+  if (sd_config_.scan.guest_budget > 0) {
+    ++pass_guests_seen_;
+    if (rotate_skip_ > 0) {
+      // Before this pass's rotating window: deferred, no slot consumed.
+      --rotate_skip_;
+      ++budget_deferrals_;
+      return false;
+    }
+    if (guests_considered_ >= sd_config_.scan.guest_budget) {
+      ++budget_deferrals_;
+      return false;
+    }
+    ++guests_considered_;
   }
-  ++guests_considered_;
 
   // Listing 1: pre-selection estimate. Malleability must beat the static
   // wait before we even search for mates. All estimates use the scheduler's

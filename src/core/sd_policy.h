@@ -58,6 +58,12 @@ class SdPolicyScheduler final : public BackfillScheduler {
     selector_.set_cluster_index(index);
   }
 
+  /// Forward the shard context to the MateSelector: candidate scans
+  /// partition by shard (on the shared worker pool when the config asks
+  /// for parallelism) and free-node probes ride the ordered shard merge.
+  /// Defined in sd_policy.cpp (needs the complete ShardedClusterIndex).
+  void set_sharded_index(const ShardedClusterIndex* sharded) noexcept override;
+
   void on_finish(JobId job) override {
     mate_registry_.on_finish(job);
     selector_.release_budgets(job);
@@ -104,6 +110,12 @@ class SdPolicyScheduler final : public BackfillScheduler {
   GuestScanLedger scan_ledger_;
   bool crosscheck_ = false;     ///< scan.crosscheck OR SDSCHED_SD_CROSSCHECK
   int guests_considered_ = 0;   ///< this pass, against scan.guest_budget
+  // Rotating-slice state (scan.slice == kRotate; all zero under kPrefix,
+  // keeping the prefix path byte-identical).
+  int rotate_skip_ = 0;         ///< guests still to skip before this pass's window
+  int pass_guests_seen_ = 0;    ///< malleability-capable guests reaching the slice
+  int last_pass_seen_ = 0;      ///< previous pass's pass_guests_seen_ (wrap bound)
+  int slice_offset_ = 0;        ///< where the next pass's window starts
   bool cutoff_cache_valid_ = false;
   std::uint64_t cutoff_serial_ = 0;
   std::uint64_t cutoff_epoch_ = 0;

@@ -6,6 +6,7 @@
 
 #include "api/report.h"
 #include "cluster/cluster_state_index.h"
+#include "cluster/sharded_cluster_index.h"
 #include "util/logging.h"
 
 namespace sdsched {
@@ -33,7 +34,9 @@ ReservationProfile& BackfillScheduler::pass_profile(SimTime now) {
   if (cluster_index_ != nullptr) {
 #ifdef SDSCHED_INDEX_CROSSCHECK
     std::string diagnosis;
-    const bool consistent = cluster_index_->check_consistent(&diagnosis);
+    const bool consistent = sharded_index_ != nullptr
+                                ? sharded_index_->check_consistent(&diagnosis)
+                                : cluster_index_->check_consistent(&diagnosis);
     if (!consistent) log_error("backfill", "cluster index inconsistent: ", diagnosis);
     assert(consistent && "ClusterStateIndex diverged from the machine scan");
 #endif
@@ -45,7 +48,13 @@ ReservationProfile& BackfillScheduler::pass_profile(SimTime now) {
       ++profile_reuses_;
       return profile_;
     }
-    cluster_index_->busy_groups(now, scratch_groups_);
+    if (sharded_index_ != nullptr && sharded_index_->shard_count() > 1) {
+      // Assemble the base from the shards' release maps (ordered merge,
+      // byte-identical groups — crosschecked internally).
+      sharded_index_->busy_groups_sharded(now, scratch_groups_);
+    } else {
+      cluster_index_->busy_groups(now, scratch_groups_);
+    }
     profile_.set_base(machine_.node_count(), now, scratch_groups_);
     profile_version_ = cluster_index_->version();
     profile_valid_ = true;
@@ -87,7 +96,11 @@ ReservationProfile* BackfillScheduler::class_profile(SimTime now,
   }
   ClassLayer layer;
   layer.mask = mask;
-  cluster_index_->busy_groups_for_mask(mask, now, scratch_groups_);
+  if (sharded_index_ != nullptr && sharded_index_->shard_count() > 1) {
+    sharded_index_->busy_groups_for_mask_sharded(mask, now, scratch_groups_);
+  } else {
+    cluster_index_->busy_groups_for_mask(mask, now, scratch_groups_);
+  }
   layer.profile.set_base(cluster_index_->node_count_for_mask(mask), now, scratch_groups_);
   // Replay what this pass reserved with no machine-state backing (the base
   // snapshot above already contains every start the pass applied — see

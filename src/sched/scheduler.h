@@ -21,6 +21,7 @@
 namespace sdsched {
 
 class ClusterStateIndex;
+class ShardedClusterIndex;
 struct SimulationReport;
 
 /// A fully costed malleable co-scheduling decision (MateSelector output).
@@ -102,6 +103,15 @@ class Scheduler {
     cluster_index_ = index;
   }
 
+  /// Install the sharded coordinator (api/Simulation with a ShardConfig).
+  /// Also installs its flat parity surface as the cluster index, so every
+  /// flat-index fast path keeps working; free-node picks and profile bases
+  /// additionally route through the deterministic ordered shard merge when
+  /// more than one shard exists. Virtual for the same forwarding reason as
+  /// set_cluster_index (SD-Policy hands the shard context to its
+  /// MateSelector). Defined in scheduler.cpp (needs the complete type).
+  virtual void set_sharded_index(const ShardedClusterIndex* sharded) noexcept;
+
   /// The scheduler's working estimate of a job's duration: the user request,
   /// or the predictor's refinement when one is installed.
   [[nodiscard]] SimTime effective_req_time(const JobSpec& spec) const {
@@ -133,6 +143,7 @@ class Scheduler {
 
   const RuntimePredictor* predictor_ = nullptr;
   const ClusterStateIndex* cluster_index_ = nullptr;
+  const ShardedClusterIndex* sharded_index_ = nullptr;
   Machine& machine_;
   JobRegistry& jobs_;
   StartExecutor& executor_;

@@ -1,0 +1,296 @@
+// Shard-merge parity suite: the ShardedClusterIndex must answer
+// byte-identically to the flat ClusterStateIndex at every shard count —
+// including counts that do not divide the node count evenly — through
+// arbitrary start/guest/finish/stretch churn, with constraints and
+// contiguous picks (ISSUE 10, docs/determinism.md "Ordered shard merge").
+#include "cluster/sharded_cluster_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/shard_layout.h"
+#include "drom/node_manager.h"
+
+namespace sdsched {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 7, 64};
+
+TEST(ShardLayout, WordAlignedContiguousPartition) {
+  for (const int nodes : {5, 65, 5040, 50000}) {
+    for (const int shards : kShardCounts) {
+      const ShardLayout layout(nodes, shards);
+      ASSERT_EQ(layout.shard_count(), shards);
+      ASSERT_EQ(layout.node_count(), nodes);
+      ASSERT_EQ(layout.node_begin(0), 0);
+      ASSERT_EQ(layout.node_end(shards - 1), nodes);
+      int widest = 0;
+      for (int s = 0; s < shards; ++s) {
+        // Shards tile the id space in order, word-aligned at both ends.
+        // node_end clamps to the node count; node_begin is the raw word
+        // boundary (empty trailing shards start past the last id).
+        const int begin = std::min(layout.node_begin(s), nodes);
+        ASSERT_LE(begin, layout.node_end(s));
+        ASSERT_EQ(layout.node_begin(s) % 64, 0);
+        if (s + 1 < shards) {
+          ASSERT_EQ(layout.node_end(s), std::min(layout.node_begin(s + 1), nodes))
+              << nodes << " nodes, " << shards << " shards, shard " << s;
+        }
+        ASSERT_EQ(layout.word_begin(s), static_cast<std::size_t>(layout.node_begin(s)) / 64);
+        const int width = layout.node_end(s) - begin;
+        widest = std::max(widest, width);
+        for (int id = begin; id < layout.node_end(s); id += std::max(1, width / 7)) {
+          ASSERT_EQ(layout.shard_of(id), s);
+        }
+      }
+      // Balanced: the ceil word split keeps every shard at or under
+      // ceil(words / shards) words.
+      const int words = (nodes + 63) / 64;
+      ASSERT_LE(widest, ((words + shards - 1) / shards) * 64);
+    }
+  }
+}
+
+std::uint64_t xorshift(std::uint64_t* state, std::uint64_t bound) {
+  *state ^= *state << 13;
+  *state ^= *state >> 7;
+  *state ^= *state << 17;
+  return *state % bound;
+}
+
+struct ShardedCluster {
+  explicit ShardedCluster(int nodes, int shards) {
+    MachineConfig mc;
+    mc.nodes = nodes;
+    mc.node = NodeConfig{2, 4};
+    // Three attribute classes interleaved across the id space so every
+    // shard sees a class mix and constrained picks cross shard boundaries.
+    NodeAttributes highmem;
+    highmem.memory_gb = 384;
+    NodeAttributes fastnet;
+    fastnet.network = "ib";
+    for (int id = 0; id < nodes; ++id) {
+      if (id % 5 == 1) mc.attribute_overrides.emplace_back(id, highmem);
+      if (id % 5 == 3) mc.attribute_overrides.emplace_back(id, fastnet);
+    }
+    machine.emplace(mc);
+    sharded.emplace(*machine, jobs, ShardConfig{shards, false});
+  }
+
+  JobId add_running(SimTime now, int req_nodes, SimTime runtime) {
+    JobSpec spec;
+    spec.submit = now;
+    spec.req_cpus = req_nodes * machine->cores_per_node();
+    spec.req_nodes = req_nodes;
+    spec.req_time = runtime;
+    spec.base_runtime = runtime;
+    const JobId id = jobs.add(spec);
+    Job& job = jobs.at(id);
+    job.state = JobState::Running;
+    job.start_time = now;
+    job.predicted_end = now + runtime;
+    return id;
+  }
+
+  JobRegistry jobs;
+  DromRegistry drom;
+  std::optional<Machine> machine;
+  std::optional<ShardedClusterIndex> sharded;
+  std::vector<JobId> running;
+};
+
+/// Every merge-based answer against its flat counterpart, plus the
+/// aggregate identities a correct shard split must satisfy.
+void expect_shard_flat_parity(ShardedCluster& c, SimTime now, std::uint64_t* state) {
+  const ShardedClusterIndex& sharded = *c.sharded;
+  const ClusterStateIndex& flat = sharded.flat();
+  const int nodes = c.machine->node_count();
+
+  JobConstraints highmem;
+  highmem.min_memory_gb = 128;
+  JobConstraints contiguous;
+  contiguous.contiguous = true;
+
+  const int probes[] = {1, 2, 1 + static_cast<int>(xorshift(state, 8)),
+                        std::max(1, nodes / 3), nodes};
+  for (const int count : probes) {
+    ASSERT_EQ(sharded.find_free_nodes(count), flat.find_free_nodes(count))
+        << "count " << count;
+    ASSERT_EQ(sharded.find_free_nodes(count, &highmem),
+              flat.find_free_nodes(count, &highmem))
+        << "count " << count;
+    ASSERT_EQ(sharded.find_free_nodes(count, &contiguous),
+              flat.find_free_nodes(count, &contiguous))
+        << "count " << count;
+  }
+
+  std::vector<std::pair<SimTime, int>> merged;
+  std::vector<std::pair<SimTime, int>> flat_groups;
+  sharded.busy_groups_sharded(now, merged);
+  flat.busy_groups(now, flat_groups);
+  ASSERT_EQ(merged, flat_groups);
+
+  JobConstraints fastnet;
+  fastnet.required_network = "ib";
+  const std::uint64_t mask = flat.eligible_class_mask(fastnet);
+  sharded.busy_groups_for_mask_sharded(mask, now, merged);
+  flat.busy_groups_for_mask(mask, now, flat_groups);
+  ASSERT_EQ(merged, flat_groups);
+
+  // Aggregates: per-shard totals partition the flat counts, and the
+  // earliest release across shards is the flat first release.
+  int free_total = 0;
+  int occupied_total = 0;
+  int eligible_free = 0;
+  SimTime earliest = ShardedClusterIndex::kNoRelease;
+  for (int s = 0; s < sharded.shard_count(); ++s) {
+    free_total += sharded.shard_free_count(s);
+    occupied_total += sharded.shard_occupied_count(s);
+    eligible_free += sharded.shard_eligible_free_count(s, mask);
+    earliest = std::min(earliest, sharded.shard_earliest_release(s));
+  }
+  ASSERT_EQ(free_total, c.machine->free_node_count());
+  ASSERT_EQ(occupied_total, flat.occupied_node_count());
+  ASSERT_EQ(eligible_free, flat.eligible_free_count(fastnet));
+  if (flat.occupied_node_count() == 0) {
+    ASSERT_EQ(earliest, ShardedClusterIndex::kNoRelease);
+  } else {
+    std::vector<std::pair<SimTime, int>> all_groups;
+    // busy_groups clamps; compare through an unclamped probe at a time
+    // before every release instead.
+    flat.busy_groups(INT64_MIN / 4, all_groups);
+    ASSERT_FALSE(all_groups.empty());
+    ASSERT_EQ(earliest, all_groups.front().first);
+  }
+}
+
+/// Scattered free-node sample (lowest-first picks would leave tail shards
+/// untouched and the parity trivial).
+std::vector<int> random_free_nodes(const Machine& machine, std::uint64_t* state,
+                                   int want) {
+  std::vector<int> out;
+  int tries = 0;
+  while (static_cast<int>(out.size()) < want && tries++ < 400) {
+    const int id =
+        static_cast<int>(xorshift(state, static_cast<std::uint64_t>(machine.node_count())));
+    if (!machine.node(id).empty()) continue;
+    if (std::find(out.begin(), out.end(), id) != out.end()) continue;
+    out.push_back(id);
+  }
+  if (static_cast<int>(out.size()) < want) out.clear();
+  return out;
+}
+
+void churn_parity(int nodes, int steps) {
+  for (const int shards : kShardCounts) {
+    ShardedCluster c(nodes, shards);
+    NodeManager mgr(*c.machine, c.jobs, c.drom);
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL ^
+                          (static_cast<std::uint64_t>(nodes) << 8) ^
+                          static_cast<std::uint64_t>(shards);
+    SimTime now = 0;
+    std::string diag;
+    for (int step = 0; step < steps; ++step) {
+      now += static_cast<SimTime>(xorshift(&state, 20));
+      const std::uint64_t op = xorshift(&state, 10);
+      if (op < 5) {
+        const int want = 1 + static_cast<int>(xorshift(&state, 3));
+        const auto picked = random_free_nodes(*c.machine, &state, want);
+        if (!picked.empty()) {
+          const JobId id =
+              c.add_running(now, want, 10 + static_cast<SimTime>(xorshift(&state, 300)));
+          mgr.start_static(now, id, picked);
+          c.running.push_back(id);
+        }
+      } else if (op < 7 && !c.running.empty()) {
+        const std::size_t pick = xorshift(&state, c.running.size());
+        const JobId id = c.running[pick];
+        c.running.erase(c.running.begin() + static_cast<std::ptrdiff_t>(pick));
+        c.jobs.at(id).state = JobState::Completed;
+        c.jobs.at(id).end_time = now;
+        mgr.finish_job(now, id);
+      } else if (op < 9 && !c.running.empty()) {
+        // Malleable guest start: shrink one mate on one of its nodes (the
+        // free_at-moves-without-emptiness-flip path).
+        const JobId mate_id = c.running[xorshift(&state, c.running.size())];
+        const Job& mate_view = c.jobs.at(mate_id);
+        if (!mate_view.malleable() || mate_view.shares.empty()) continue;
+        const NodeShare share = mate_view.shares[xorshift(&state, mate_view.shares.size())];
+        if (share.cpus < 2) continue;
+        const int give =
+            1 + static_cast<int>(xorshift(&state, static_cast<std::uint64_t>(share.cpus) - 1));
+        const JobId guest_id =
+            c.add_running(now, 1, 10 + static_cast<SimTime>(xorshift(&state, 200)));
+        SharePlan plan;
+        plan.node = share.node;
+        plan.mate = mate_id;
+        plan.guest_cpus = give;
+        plan.mate_kept_cpus = share.cpus - give;
+        plan.guest_static_cpus = give;
+        c.jobs.at(mate_id).predicted_end += static_cast<SimTime>(xorshift(&state, 100));
+        c.sharded->on_predicted_end_changed(mate_id);
+        mgr.start_guest(now, guest_id, {plan});
+        c.running.push_back(guest_id);
+      } else if (!c.running.empty()) {
+        const JobId id = c.running[xorshift(&state, c.running.size())];
+        c.jobs.at(id).predicted_end += static_cast<SimTime>(xorshift(&state, 50));
+        c.sharded->on_predicted_end_changed(id);
+      }
+
+      expect_shard_flat_parity(c, now, &state);
+      if (step % 8 == 0) {
+        ASSERT_TRUE(c.sharded->check_consistent(&diag))
+            << nodes << " nodes, " << shards << " shards, step " << step << ": " << diag;
+      }
+    }
+    ASSERT_TRUE(c.sharded->check_consistent(&diag)) << diag;
+    EXPECT_FALSE(c.running.empty());
+  }
+}
+
+TEST(ShardedClusterIndex, ChurnParityTinyMachine) { churn_parity(5, 120); }
+
+TEST(ShardedClusterIndex, ChurnParityOddMachine) { churn_parity(65, 120); }
+
+TEST(ShardedClusterIndex, ChurnParityCurieMachine) { churn_parity(5040, 60); }
+
+TEST(ShardedClusterIndex, ChurnParityFiftyKMachine) { churn_parity(50000, 10); }
+
+TEST(ShardedClusterIndex, DrainAndRefillKeepsAggregatesExact) {
+  ShardedCluster c(130, 7);
+  NodeManager mgr(*c.machine, c.jobs, c.drom);
+  std::uint64_t state = 0xdeadbeefcafef00dULL;
+
+  // Fill the whole machine one node at a time, then drain it completely.
+  std::vector<JobId> ids;
+  for (int id = 0; id < 130; ++id) {
+    const JobId job = c.add_running(0, 1, 100 + id);
+    mgr.start_static(0, job, {id});
+    ids.push_back(job);
+  }
+  ASSERT_EQ(c.machine->free_node_count(), 0);
+  expect_shard_flat_parity(c, 0, &state);
+  for (int s = 0; s < c.sharded->shard_count(); ++s) {
+    ASSERT_EQ(c.sharded->shard_free_count(s), 0);
+  }
+  for (const JobId job : ids) {
+    c.jobs.at(job).state = JobState::Completed;
+    mgr.finish_job(50, job);
+  }
+  ASSERT_EQ(c.machine->free_node_count(), 130);
+  expect_shard_flat_parity(c, 50, &state);
+  std::string diag;
+  ASSERT_TRUE(c.sharded->check_consistent(&diag)) << diag;
+  for (int s = 0; s < c.sharded->shard_count(); ++s) {
+    ASSERT_EQ(c.sharded->shard_occupied_count(s), 0);
+    ASSERT_EQ(c.sharded->shard_earliest_release(s), ShardedClusterIndex::kNoRelease);
+  }
+}
+
+}  // namespace
+}  // namespace sdsched
